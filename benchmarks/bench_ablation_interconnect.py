@@ -1,0 +1,100 @@
+"""A1 — Ablation: the blocked memory's configurable interconnect.
+
+The paper's Section 3.1 design choice: shifts ride along copies through the
+barrel-shifter interconnect for free, where a plain crossbar must move each
+bit individually.  This bench quantifies the claim on partial-product
+alignment for N x N multiplication: with the interconnect, PP generation is
+``popcount + 1`` cycles; without it, every shifted copy decomposes into
+bit-serial moves.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.talati import TalatiAdderModel
+from repro.core.config import default_config
+from repro.core.timing import cost_multiply, cost_ppgen
+
+
+def _ppgen_without_interconnect(n: int, set_bits: int) -> float:
+    """Partial-product alignment cost in a crossbar WITHOUT the blocked
+    interconnect: each of the ``set_bits`` copies shifts bit-by-bit
+    (2 cycles per bit moved: the two-NOT copy, per bit)."""
+    cycles = 0.0
+    for i in range(set_bits):
+        cycles += 2 * n  # bit-serial copy of the n-bit row
+    return cycles
+
+
+def test_interconnect_ablation_ppgen(benchmark, bench_rounds):
+    def sweep():
+        rows = []
+        for n in (8, 16, 32):
+            set_bits = n // 2  # random multiplier average
+            with_icn = cost_ppgen(n, set_bits).cycles
+            without = _ppgen_without_interconnect(n, set_bits)
+            rows.append((n, with_icn, without))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=bench_rounds, iterations=1)
+    print()
+    print("partial-product alignment: blocked interconnect vs bit-serial")
+    for n, with_icn, without in rows:
+        print(
+            f"  N={n:3d}: interconnect={with_icn:5.0f} cycles  "
+            f"bit-serial={without:6.0f} cycles  ({without / with_icn:.1f}x)"
+        )
+        assert without / with_icn > 10  # the shift-free copy is the win
+    # The advantage grows with the operand width.
+    ratios = [without / with_icn for _, with_icn, without in rows]
+    assert ratios == sorted(ratios)
+
+
+def test_interconnect_ablation_full_multiply(benchmark, bench_rounds):
+    """End-to-end: a 32x32 multiply with free shifting vs one paying
+    bit-serial alignment for PPs and every reduction-stage move."""
+
+    def measure():
+        n, set_bits = 32, 16
+        blocked = cost_multiply(n, set_bits).cycles
+        penalty = _ppgen_without_interconnect(n, set_bits)
+        # every reduction stage also re-arranges survivors bit-serially
+        from repro.core.timing import reduction_sequence
+
+        width = 2 * n
+        for count in reduction_sequence(set_bits):
+            survivors = 2 * (count // 3) + count % 3
+            penalty += 2 * width * survivors
+        return blocked, blocked + penalty - cost_ppgen(n, set_bits).cycles
+
+    blocked, unblocked = benchmark.pedantic(
+        measure, rounds=bench_rounds, iterations=1
+    )
+    print()
+    print(
+        f"32x32 multiply: blocked={blocked:.0f} cycles, "
+        f"plain crossbar={unblocked:.0f} cycles "
+        f"({unblocked / blocked:.2f}x)"
+    )
+    assert unblocked > 1.5 * blocked
+
+
+def test_interconnect_area_tradeoff(benchmark, bench_rounds):
+    """The cost side of the ablation: the interconnect's switch transistors
+    vs the per-array controllers a PC-Adder-style organisation needs."""
+    from repro.crossbar.decoder import SharedPeriphery
+
+    def measure():
+        shared = SharedPeriphery(1024, 1024, 8).periphery_transistors(True)
+        per_array = SharedPeriphery(1024, 1024, 8).periphery_transistors(False)
+        pc = TalatiAdderModel(default_config())  # baseline context only
+        return shared, per_array
+
+    shared, per_array = benchmark.pedantic(
+        measure, rounds=bench_rounds, iterations=1
+    )
+    print()
+    print(
+        f"periphery transistors, 8 blocks: shared+interconnect={shared}, "
+        f"per-array controllers={per_array} ({per_array / shared:.1f}x)"
+    )
+    assert shared < per_array

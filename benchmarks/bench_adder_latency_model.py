@@ -1,0 +1,76 @@
+"""E6 — Section 3.2's worked latency examples, as a regression bench.
+
+Pins the explicit numbers in the prose: the fast three-operand add at
+``12N + 14`` vs the serial ``~24N`` chain; the 9:2 reduction's four
+stages leaving two (N+3)-bit numbers; and the width-independence of the
+3:2 CSA step, measured on the structural simulator.
+"""
+
+from __future__ import annotations
+
+from repro.core.timing import (
+    FULL_ADDER_CYCLES,
+    fast_multi_add_cycles,
+    reduction_stages,
+    serial_add_cycles,
+)
+from repro.crossbar.block import BlockedCrossbar
+from repro.crossbar.structural_adder import RowPool, StructuralAdder
+
+
+def test_three_operand_fast_vs_serial(benchmark, bench_rounds):
+    def sweep():
+        rows = []
+        for n in (8, 16, 32, 64):
+            fast = fast_multi_add_cycles(3, n)
+            serial = serial_add_cycles(n) + serial_add_cycles(n + 1)
+            rows.append((n, fast, serial))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=bench_rounds, iterations=1)
+    print()
+    print("three-operand addition: fast (12N+14) vs serial chain")
+    for n, fast, serial in rows:
+        print(f"  N={n:3d}: fast={fast:5d} serial={serial:5d} "
+              f"({serial / fast:.2f}x)")
+        assert fast == 12 * n + 14  # the paper's formula, verbatim
+        assert serial > fast
+    # "The difference increases linearly with the size of inputs."
+    gaps = [serial - fast for _, fast, serial in rows]
+    assert gaps == sorted(gaps)
+
+
+def test_nine_to_two_reduction_structure(benchmark, bench_rounds):
+    def analyse():
+        return reduction_stages(9), fast_multi_add_cycles(9, 8)
+
+    stages, cycles = benchmark.pedantic(
+        analyse, rounds=bench_rounds, iterations=1
+    )
+    assert stages == 4  # Figure 2(b): four stages for 9:2
+    # Two (N+3)-bit survivors feed the final serial addition.
+    assert cycles == 4 * FULL_ADDER_CYCLES + serial_add_cycles(8 + 3)
+
+
+def test_csa_width_independence_structural(benchmark):
+    """Measured on the micro-op simulator: a 3:2 step takes 13 cycles at
+    any operand width (the SIMD claim of Section 3.2)."""
+    fabric = BlockedCrossbar(2, 64, 70)
+    adder = StructuralAdder(fabric)
+    pool = RowPool(64, reserved=range(3))
+
+    def run_widths():
+        observed = []
+        for width in (4, 16, 64):
+            fabric.block(0).clear()
+            for row in range(3):
+                fabric.write_word(0, row, (1 << width) - 1, width)
+            out = [tuple(pool.alloc(2))]
+            before = fabric.total_cost.cycles
+            adder.csa_step(0, [(0, 1, 2)], out, width, pool)
+            observed.append(fabric.total_cost.cycles - before)
+            pool.free([r for pair in out for r in pair])
+        return observed
+
+    observed = benchmark(run_widths)
+    assert observed == [13, 13, 13]

@@ -1,0 +1,88 @@
+"""Simulator-performance microbenchmarks (not a paper artifact).
+
+Measures the reproduction's own throughput: vectorised functional
+arithmetic, structural micro-op simulation, the cache simulator and a full
+workload execution.  Useful for regression-tracking the simulator itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.cache import Cache
+from repro.core.approximation import ApproxSpec
+from repro.core.engine import APIMEngine
+from repro.core.multiplier import APIMMultiplier
+from repro.crossbar.structural_multiplier import StructuralMultiplier
+from repro.workloads import workload_by_name
+
+RNG = np.random.default_rng(77)
+A = RNG.integers(0, 1 << 32, 1 << 16, dtype=np.uint64)
+B = RNG.integers(0, 1 << 32, 1 << 16, dtype=np.uint64)
+
+
+def test_functional_multiplier_throughput(benchmark):
+    mult = APIMMultiplier()
+
+    def run():
+        return mult.multiply(A, B).cost.cycles
+
+    cycles = benchmark(run)
+    assert cycles > 0
+
+
+def test_functional_multiplier_approx_throughput(benchmark):
+    mult = APIMMultiplier()
+    spec = ApproxSpec.last_stage(32)
+
+    def run():
+        return mult.multiply(A, B, spec).cost.cycles
+
+    benchmark(run)
+
+
+def test_engine_signed_mac_throughput(benchmark):
+    engine = APIMEngine()
+    x = RNG.integers(-(1 << 20), 1 << 20, 1 << 14)
+    y = RNG.integers(-(1 << 20), 1 << 20, 1 << 14)
+
+    def run():
+        engine.reset()
+        acc = engine.mul(x, y)
+        return engine.add(acc, acc, width=50)
+
+    benchmark(run)
+
+
+def test_structural_multiplier_throughput(benchmark):
+    mult = StructuralMultiplier(8, rows=220)
+
+    def run():
+        product, _ = mult.multiply(173, 89)
+        assert product == 173 * 89
+
+    benchmark(run)
+
+
+def test_cache_simulator_throughput(benchmark):
+    cache = Cache(1 << 20, line_bytes=64, ways=16)
+    addresses = RNG.integers(0, 1 << 24, 20000).tolist()
+
+    def run():
+        for addr in addresses:
+            cache.access(addr)
+        return cache.stats.misses
+
+    benchmark(run)
+
+
+def test_workload_execution_throughput(benchmark):
+    workload = workload_by_name("Sobel")
+    data = workload.generate(1 << 12, np.random.default_rng(5))
+
+    def run():
+        engine = APIMEngine()
+        workload.run(engine, data)
+        return engine.total_cost.cycles
+
+    benchmark(run)

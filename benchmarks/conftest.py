@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*`` file regenerates one paper artifact (DESIGN.md Section 4's
+experiment index).  Benchmarks both *measure* (pytest-benchmark timings of
+the simulator) and *report* (a paper-style table printed via ``-s`` or the
+captured output), and every bench asserts the reproduced shape so a
+regression in the models fails the run loudly.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    """Benchmarks execute heavyweight drivers; keep a stable order so the
+    memoised GPU locality measurements warm up in the cheap benches."""
+    items.sort(key=lambda item: item.nodeid)
+
+
+@pytest.fixture(scope="session")
+def bench_rounds():
+    """Rounds for pedantic benchmark runs (experiment drivers are slow)."""
+    return 1

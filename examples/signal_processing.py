@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Approximate signal processing: FFT and Haar DWT on APIM.
+
+The data-intensive transforms of the paper's evaluation, end to end:
+
+1. a fixed-point FFT whose every butterfly runs through the APIM engine,
+   with spectra compared across approximation levels;
+2. the Haar wavelet transform with per-level energy compaction;
+3. the adaptive tuner choosing each kernel's relax bits against the 10 %
+   relative-error QoS bar;
+4. a Figure-5-style dataset-size sweep for FFT against the GPU baseline.
+
+Run:  python examples/signal_processing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import APIMEngine, APIMExecutor, AdaptiveTuner, ApproxSpec
+from repro.quality.metrics import average_relative_error
+from repro.runtime.comparison import ComparisonHarness
+from repro.units import GIB, MIB, format_bytes, format_improvement
+from repro.workloads import DwtHaar1DWorkload, FFTWorkload
+
+
+def fft_accuracy_ladder() -> None:
+    print("== FFT through APIM: spectrum accuracy vs relax bits ==")
+    workload = FFTWorkload()
+    data = workload.generate(1 << 12, np.random.default_rng(3))
+    reference = workload.reference(data)
+    ref_mag = np.hypot(
+        reference[0].astype(np.float64), reference[1].astype(np.float64)
+    )
+    print(f"{'m':>4} {'rel. error':>12} {'cycles/sample':>15}")
+    for m in (0, 8, 16, 20, 24):
+        engine = APIMEngine(spec=ApproxSpec.last_stage(m))
+        output = workload.run(engine, data)
+        out_mag = np.hypot(
+            output[0].astype(np.float64), output[1].astype(np.float64)
+        )
+        err = average_relative_error(ref_mag, out_mag)
+        print(f"{m:>4} {err:>11.4%} "
+              f"{engine.total_cost.cycles / data.elements:>15.0f}")
+
+
+def dwt_compaction() -> None:
+    print("\n== Haar DWT: energy compaction survives approximation ==")
+    workload = DwtHaar1DWorkload()
+    data = workload.generate(1 << 12, np.random.default_rng(4))
+    for m in (0, 24):
+        engine = APIMEngine(spec=ApproxSpec.last_stage(m))
+        out = workload.run(engine, data).astype(np.float64)
+        n = out.size
+        coarse = np.abs(out[: n // 16]).mean()
+        fine = np.abs(out[n // 2 :]).mean()
+        print(f"m={m:>2}: coarse-band mean |coeff| = {coarse:,.0f}, "
+              f"fine-band = {fine:,.0f} "
+              f"(compaction ratio {coarse / max(fine, 1):.1f}x)")
+
+
+def adaptive_selection() -> None:
+    print("\n== adaptive tuner: per-kernel relax bits against 10% QoS ==")
+    tuner = AdaptiveTuner(APIMExecutor())
+    for workload in (FFTWorkload(), DwtHaar1DWorkload()):
+        tuning = tuner.tune(workload, elements=1 << 12,
+                            rng=np.random.default_rng(5))
+        trial = tuning.selected_trial
+        print(f"{workload.name:<10} -> m = {tuning.selected_relax_bits:>2} "
+              f"(QoL {trial.qol_percent:.2f} %, "
+              f"{len(tuning.trials)} rungs probed)")
+
+
+def fft_dataset_sweep() -> None:
+    print("\n== FFT vs GPU across dataset sizes (Figure 5c) ==")
+    harness = ComparisonHarness(tile_elements=1 << 12)
+    workload = FFTWorkload()
+    print(f"{'size':>8} {'speedup':>9} {'energy':>9} {'EDP':>9}")
+    for size in (32 * MIB, 128 * MIB, 512 * MIB, GIB):
+        point = harness.compare(workload, size)
+        print(f"{format_bytes(size):>8} {point.speedup:>8.2f}x "
+              f"{format_improvement(point.energy_improvement):>9} "
+              f"{format_improvement(point.edp_improvement):>9}")
+    print("(the GPU wins small datasets; APIM takes over as data movement "
+          "dominates)")
+
+
+if __name__ == "__main__":
+    fft_accuracy_ladder()
+    dwt_compaction()
+    adaptive_selection()
+    fft_dataset_sweep()

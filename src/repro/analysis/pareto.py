@@ -1,0 +1,88 @@
+"""Quality/efficiency Pareto analysis over the approximation grid.
+
+The adaptive tuner picks one point per application; this module exposes
+the whole frontier — the (QoL, EDP-improvement) trade curve — so users
+with different quality budgets can pick their own operating points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.experiments import Table1Result
+from repro.errors import ConfigurationError
+
+__all__ = ["ParetoPoint", "pareto_frontier", "operating_point"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One non-dominated (quality, efficiency) setting."""
+
+    workload: str
+    relax_bits: int
+    qol_percent: float
+    edp_improvement: float
+
+
+def pareto_frontier(result: Table1Result, workload: str) -> list[ParetoPoint]:
+    """Non-dominated points of one application's Table-1 row.
+
+    A setting is dominated if another has both lower (or equal) QoL and
+    higher (or equal) EDP improvement, with at least one strict.  Because
+    both columns are monotone in ``m``, every swept level is typically on
+    the frontier — the function still filters rigorously, so it stays
+    correct for non-monotone grids (e.g. custom sweeps).
+    """
+    if workload not in result.cells:
+        raise ConfigurationError(
+            f"workload {workload!r} not in the grid; "
+            f"have {sorted(result.cells)}"
+        )
+    cells = result.cells[workload]
+    frontier = []
+    for candidate in cells:
+        dominated = any(
+            other is not candidate
+            and other.qol_percent <= candidate.qol_percent
+            and other.edp_improvement >= candidate.edp_improvement
+            and (
+                other.qol_percent < candidate.qol_percent
+                or other.edp_improvement > candidate.edp_improvement
+            )
+            for other in cells
+        )
+        if not dominated:
+            frontier.append(
+                ParetoPoint(
+                    workload=workload,
+                    relax_bits=candidate.relax_bits,
+                    qol_percent=candidate.qol_percent,
+                    edp_improvement=candidate.edp_improvement,
+                )
+            )
+    frontier.sort(key=lambda p: p.qol_percent)
+    return frontier
+
+
+def operating_point(
+    result: Table1Result, workload: str, max_qol_percent: float
+) -> ParetoPoint:
+    """The most efficient frontier point within a quality budget.
+
+    Raises :class:`ConfigurationError` when no swept setting fits (even
+    exact mode exceeds the budget — impossible for a healthy kernel, whose
+    exact QoL is zero).
+    """
+    if max_qol_percent < 0:
+        raise ConfigurationError("quality budget must be non-negative")
+    eligible = [
+        point
+        for point in pareto_frontier(result, workload)
+        if point.qol_percent <= max_qol_percent
+    ]
+    if not eligible:
+        raise ConfigurationError(
+            f"no setting of {workload!r} meets QoL <= {max_qol_percent}%"
+        )
+    return max(eligible, key=lambda p: p.edp_improvement)

@@ -1,0 +1,235 @@
+"""Trace-driven cache and TLB simulators.
+
+The paper obtains its GPU-side numbers from multi2sim, a cycle-accurate
+CPU-GPU simulator.  We replace it with an analytic GPU model
+(:mod:`repro.baselines.gpu`) whose *memory behaviour* is measured by these
+simulators: workloads emit address traces over a scaled tile, the hierarchy
+counts hits/misses per level, and the GPU model extrapolates per-element
+statistics to the full dataset.
+
+Components:
+
+- :class:`Cache` — set-associative, true-LRU, write-back/write-allocate.
+- :class:`CacheHierarchy` — an inclusive two-level stack over DRAM;
+  returns, per access, the level that served it.
+- :class:`TLB` — a fully-associative LRU translation buffer; misses model
+  the page-walk cost that grows with dataset footprint (one of the two
+  mechanisms behind Figure 5's widening GPU gap).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Cache", "CacheHierarchy", "CacheStats", "TLB"]
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses observed."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access (0 when idle)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """A set-associative LRU cache.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity; must be ``line_bytes * ways * sets``.
+    line_bytes:
+        Cache-line size (power of two).
+    ways:
+        Associativity.
+    name:
+        Label for reports.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        line_bytes: int = 64,
+        ways: int = 8,
+        name: str = "cache",
+    ) -> None:
+        if not _is_power_of_two(line_bytes):
+            raise ConfigurationError(f"line size {line_bytes} not a power of two")
+        if ways <= 0:
+            raise ConfigurationError(f"ways must be positive: {ways}")
+        if size_bytes <= 0 or size_bytes % (line_bytes * ways):
+            raise ConfigurationError(
+                f"capacity {size_bytes} not divisible by line*ways "
+                f"({line_bytes}*{ways})"
+            )
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = size_bytes // (line_bytes * ways)
+        if not _is_power_of_two(self.num_sets):
+            raise ConfigurationError(
+                f"set count {self.num_sets} not a power of two"
+            )
+        self.name = name
+        self.stats = CacheStats()
+        # sets[i] maps tag -> dirty flag, ordered LRU-first.
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+
+    def _locate(self, addr: int) -> tuple[int, int]:
+        line = addr // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    def access(self, addr: int, write: bool = False) -> bool:
+        """Access one address; returns True on hit.
+
+        On a miss the line is allocated (write-allocate) and the LRU victim
+        evicted, counting a writeback when dirty.
+        """
+        if addr < 0:
+            raise ConfigurationError(f"negative address {addr}")
+        index, tag = self._locate(addr)
+        ways = self._sets[index]
+        if tag in ways:
+            self.stats.hits += 1
+            ways.move_to_end(tag)
+            if write:
+                ways[tag] = True
+            return True
+        self.stats.misses += 1
+        if len(ways) >= self.ways:
+            _victim, dirty = ways.popitem(last=False)
+            self.stats.evictions += 1
+            if dirty:
+                self.stats.writebacks += 1
+        ways[tag] = write
+        return False
+
+    def flush(self) -> int:
+        """Drop all lines; returns the number of dirty lines written back."""
+        dirty = sum(
+            1 for ways in self._sets for is_dirty in ways.values() if is_dirty
+        )
+        self.stats.writebacks += dirty
+        for ways in self._sets:
+            ways.clear()
+        return dirty
+
+    def reset_stats(self) -> None:
+        """Zero the counters without touching contents."""
+        self.stats = CacheStats()
+
+
+class CacheHierarchy:
+    """A two-level cache stack over DRAM.
+
+    :meth:`access` walks L1 then L2; the return value names the level that
+    served the request (``"l1"``, ``"l2"`` or ``"dram"``), which the GPU
+    model converts into latency and energy.
+    """
+
+    def __init__(self, l1: Cache, l2: Cache) -> None:
+        self.l1 = l1
+        self.l2 = l2
+        self.dram_accesses = 0
+
+    def access(self, addr: int, write: bool = False) -> str:
+        """Access the stack; returns the serving level."""
+        if self.l1.access(addr, write):
+            return "l1"
+        if self.l2.access(addr, write):
+            return "l2"
+        self.dram_accesses += 1
+        return "dram"
+
+    def reset_stats(self) -> None:
+        """Zero all counters."""
+        self.l1.reset_stats()
+        self.l2.reset_stats()
+        self.dram_accesses = 0
+
+
+class TLB:
+    """Fully-associative LRU translation look-aside buffer.
+
+    Coverage is ``entries * page_bytes``; working sets beyond it miss on
+    (almost) every new page, and each miss costs a multi-level page walk
+    whose own memory references degrade with page-table footprint — the GPU
+    model prices that via :meth:`walk_references`.
+    """
+
+    def __init__(self, entries: int = 1024, page_bytes: int = 4096) -> None:
+        if entries <= 0:
+            raise ConfigurationError(f"entries must be positive: {entries}")
+        if not _is_power_of_two(page_bytes):
+            raise ConfigurationError(f"page size {page_bytes} not a power of two")
+        self.entries = entries
+        self.page_bytes = page_bytes
+        self.hits = 0
+        self.misses = 0
+        self._pages: OrderedDict[int, None] = OrderedDict()
+
+    @property
+    def coverage_bytes(self) -> int:
+        """Footprint fully covered by the TLB."""
+        return self.entries * self.page_bytes
+
+    def access(self, addr: int) -> bool:
+        """Translate one address; returns True on TLB hit."""
+        if addr < 0:
+            raise ConfigurationError(f"negative address {addr}")
+        page = addr // self.page_bytes
+        if page in self._pages:
+            self.hits += 1
+            self._pages.move_to_end(page)
+            return True
+        self.misses += 1
+        if len(self._pages) >= self.entries:
+            self._pages.popitem(last=False)
+        self._pages[page] = None
+        return False
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per translation (0 when idle)."""
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+    @staticmethod
+    def walk_references(footprint_bytes: float, page_bytes: int = 4096) -> int:
+        """Radix page-walk references needed for a footprint.
+
+        A 4-level x86-style walk touches one entry per level; levels whose
+        table spans a single page are effectively free (always cached), so
+        small footprints walk cheaply and gigabyte footprints pay the full
+        four references.
+        """
+        if footprint_bytes <= 0:
+            raise ConfigurationError("footprint must be positive")
+        pages = max(1, int(footprint_bytes // page_bytes))
+        entries_per_level = page_bytes // 8  # 8-byte PTEs
+        levels = 1
+        while pages > entries_per_level**levels and levels < 4:
+            levels += 1
+        return levels

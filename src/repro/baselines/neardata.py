@@ -1,0 +1,113 @@
+"""Near-data processing (NDP) baseline.
+
+The paper's introduction distinguishes three camps: traditional cores,
+*near*-data computing ("puts the processing units close to the main
+memory ... although this idea improves performance, it may consume more
+energy due to the extra computing units added to the memory"), and true
+processing *in* memory (APIM).  This model fills in the middle point:
+
+- simple in-order vector cores on the memory module's logic layer;
+- full DRAM bandwidth without the host-side cache/TLB penalties (the
+  cores sit past the translation point and stream physically);
+- but CMOS compute energy per op and added static power for the extra
+  logic — the energy overhead the paper calls out.
+
+With it, the comparison harness can rank all three organisations, which
+``tests/test_neardata.py`` pins to the paper's ordering at scale:
+``APIM > NDP > GPU/CPU`` on energy-delay product for memory-bound kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.dram import DRAMModel
+from repro.baselines.gpu import GPUEstimate, WorkloadProfile
+from repro.errors import ConfigurationError
+from repro.units import PJ, US
+
+__all__ = ["NDPConfig", "NDPModel"]
+
+
+@dataclass(frozen=True)
+class NDPConfig:
+    """Logic-layer vector-core constants.
+
+    - ``peak_flops``: 16 in-order lanes x 2 ops x 1 GHz = 32 GFLOP/s per
+      module stack — far below a GPU, the price of the thermal budget on
+      a memory module.
+    - ``e_flop``: low-voltage near-memory ALUs, ~25 pJ/op.
+    - ``static_power``: the "extra computing units" overhead, per module.
+    - ``modules``: stacks operating in parallel across the DIMM set.
+    """
+
+    peak_flops: float = 32e9
+    utilization: float = 0.7
+    e_flop: float = 25 * PJ
+    static_power: float = 4.0
+    modules: int = 8
+    dispatch_overhead: float = 10 * US
+    dram: DRAMModel = field(default_factory=DRAMModel)
+    internal_bandwidth_scale: float = 2.0
+    """On-module access sees more bandwidth than the external channel."""
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or not 0 < self.utilization <= 1:
+            raise ConfigurationError("bad compute parameters")
+        if self.modules <= 0:
+            raise ConfigurationError("need at least one module")
+        if self.internal_bandwidth_scale < 1:
+            raise ConfigurationError("internal bandwidth cannot trail external")
+
+
+class NDPModel:
+    """Prices a :class:`WorkloadProfile` on the near-data baseline."""
+
+    def __init__(self, config: NDPConfig | None = None) -> None:
+        self.config = config or NDPConfig()
+
+    def estimate(
+        self, profile: WorkloadProfile, dataset_bytes: float
+    ) -> GPUEstimate:
+        """Time/energy on the logic-layer cores.
+
+        No cache hierarchy and no page walks: the cores stream physical
+        DRAM.  Every access pays the (internally faster) DRAM path — the
+        design wins on movement, not on compute.
+        """
+        cfg = self.config
+        elements = profile.elements(dataset_bytes)
+        passes = profile.passes(elements)
+        if passes < 1:
+            raise ConfigurationError(f"pass count {passes} below 1")
+        ops = elements * profile.flops_per_element * passes
+        accesses = (
+            elements
+            * (profile.reads_per_element + profile.writes_per_element)
+            * passes
+        )
+        bytes_touched = accesses * profile.element_bytes
+
+        total_flops = cfg.peak_flops * cfg.utilization * cfg.modules
+        compute_time = ops / total_flops
+        mem_time = (
+            cfg.dram.transfer_time(bytes_touched, dataset_bytes)
+            / cfg.internal_bandwidth_scale
+            / cfg.modules
+        )
+        time = cfg.dispatch_overhead + max(compute_time, mem_time)
+
+        e_compute = ops * cfg.e_flop
+        e_dram = cfg.dram.transfer_energy(bytes_touched, dataset_bytes)
+        e_static = cfg.static_power * cfg.modules * time
+        return GPUEstimate(
+            time=time,
+            energy=e_compute + e_dram + e_static,
+            breakdown={
+                "compute_time": compute_time,
+                "mem_time": mem_time,
+                "e_compute": e_compute,
+                "e_dram": e_dram,
+                "e_static": e_static,
+            },
+        )

@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``fig4`` / ``fig5`` / ``fig6`` / ``table1`` / ``adaptive`` — regenerate
+  one paper artifact and print it paper-style.
+- ``report [-o FILE]`` — run everything and emit the markdown report.
+- ``run WORKLOAD [-m RELAX]`` — execute one workload at a given
+  approximation level and print quality/cost.
+- ``sweep PARAM V1 V2 ...`` — sensitivity sweep of a model constant.
+- ``workloads`` — list available workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.experiments import (
+    run_adaptive,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_table1,
+)
+from repro.analysis.report import generate_report
+from repro.analysis.sensitivity import SWEEPABLE, sweep_parameter
+from repro.analysis.tables import (
+    render_adaptive,
+    render_figure4,
+    render_figure5,
+    render_figure6,
+    render_table1,
+)
+from repro.core.approximation import ApproxSpec
+from repro.runtime.executor import APIMExecutor
+from repro.units import format_si
+from repro.workloads import all_workloads, extension_workloads, workload_by_name
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="APIM (DAC 2017) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig4", help="error vs EDP of both approximations")
+    p.add_argument("--samples", type=int, default=20000)
+
+    p = sub.add_parser("fig5", help="APIM vs GPU over dataset sizes")
+    p.add_argument("--tile", type=int, default=1 << 13)
+
+    sub.add_parser("fig6", help="multi-operand adder comparison")
+
+    p = sub.add_parser("table1", help="QoL/EDP grid over six applications")
+    p.add_argument("--tile", type=int, default=1 << 13)
+
+    p = sub.add_parser("adaptive", help="adaptive tuner per application")
+    p.add_argument("--tile", type=int, default=1 << 13)
+
+    p = sub.add_parser("report", help="full markdown reproduction report")
+    p.add_argument("-o", "--output", default=None, help="write to a file")
+    p.add_argument("--samples", type=int, default=10000)
+    p.add_argument("--tile", type=int, default=1 << 12)
+
+    p = sub.add_parser("run", help="run one workload at a relax level")
+    p.add_argument("workload")
+    p.add_argument("-m", "--relax", type=int, default=0)
+    p.add_argument("--elements", type=int, default=None)
+    p.add_argument("--seed", type=int, default=2017)
+
+    p = sub.add_parser("sweep", help="sensitivity sweep of a constant")
+    p.add_argument("parameter", choices=sorted(SWEEPABLE))
+    p.add_argument("values", type=float, nargs="+")
+    p.add_argument("--workload", default="Sobel")
+
+    p = sub.add_parser("campaign", help="grid of workloads x relax levels")
+    p.add_argument("--workloads", nargs="+", default=["Sobel", "Robert"])
+    p.add_argument("--levels", type=int, nargs="+", default=[0, 16, 32])
+    p.add_argument("--tile", type=int, default=1 << 11)
+    p.add_argument("-o", "--output", default=None, help="write CSV to a file")
+
+    sub.add_parser("workloads", help="list available workloads")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    workload = workload_by_name(args.workload)
+    executor = APIMExecutor()
+    result = executor.run(
+        workload,
+        spec=ApproxSpec.last_stage(args.relax),
+        elements=args.elements,
+        rng=np.random.default_rng(args.seed),
+    )
+    lines = [
+        f"workload          : {result.workload}",
+        f"elements          : {result.elements}",
+        f"relax bits (m)    : {args.relax}",
+        f"QoL               : {result.qol_percent:.3f} %"
+        f" ({'meets' if result.qos_ok else 'MISSES'} QoS)",
+        f"multiplications   : {result.mul_count}",
+        f"additions         : {result.add_count}",
+        f"lane-cycles       : {result.cost.cycles:.0f}",
+        f"tile latency      : {format_si(result.time, 's')}",
+        f"tile energy       : {format_si(result.energy, 'J')}",
+        f"tile EDP          : {result.edp:.3e} J*s",
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    result = sweep_parameter(args.parameter, args.values, args.workload)
+    lines = [
+        f"sensitivity of {result.workload} at 1 GiB to {result.parameter} "
+        f"({SWEEPABLE[result.parameter]})",
+        f"{'value':>14} {'speedup':>9} {'energy':>9} {'EDP':>10}",
+    ]
+    for point in result.points:
+        lines.append(
+            f"{point.value:>14.4g} {point.speedup:>8.2f}x "
+            f"{point.energy_improvement:>8.1f}x "
+            f"{point.edp_improvement:>9.1f}x"
+        )
+    lines.append(f"EDP spread across the sweep: {result.spread():.2f}x")
+    return "\n".join(lines)
+
+
+def _cmd_workloads() -> str:
+    lines = ["paper workloads (Table 1):"]
+    for w in all_workloads():
+        lines.append(f"  {w.name:<12} kind={w.kind}")
+    lines.append("extension workloads:")
+    for w in extension_workloads():
+        lines.append(f"  {w.name:<12} kind={w.kind}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "fig4":
+        print(render_figure4(run_figure4(samples=args.samples)))
+    elif args.command == "fig5":
+        print(render_figure5(run_figure5(tile_elements=args.tile)))
+    elif args.command == "fig6":
+        print(render_figure6(run_figure6()))
+    elif args.command == "table1":
+        print(render_table1(run_table1(tile_elements=args.tile)))
+    elif args.command == "adaptive":
+        print(render_adaptive(run_adaptive(tile_elements=args.tile)))
+    elif args.command == "report":
+        report = generate_report(samples=args.samples, tile_elements=args.tile)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(report)
+            print(f"report written to {args.output}")
+        else:
+            print(report)
+    elif args.command == "run":
+        print(_cmd_run(args))
+    elif args.command == "sweep":
+        print(_cmd_sweep(args))
+    elif args.command == "campaign":
+        from repro.runtime.campaign import run_campaign
+
+        result = run_campaign(
+            list(args.workloads), list(args.levels),
+            tile_elements=args.tile,
+        )
+        text = result.to_csv()
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"campaign written to {args.output} "
+                  f"({len(result.points)} points)")
+        else:
+            print(text, end="")
+    elif args.command == "workloads":
+        print(_cmd_workloads())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

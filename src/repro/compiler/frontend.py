@@ -1,0 +1,118 @@
+"""Kernel frontends: generate IR from higher-level operator descriptions.
+
+Hand-building IR node by node is fine for small kernels; common operator
+families deserve generators.  These produce exactly the structures the
+built-in workloads use, so a user's generated stencil and the shipped
+Sobel implementation follow the same arithmetic (Q-format coefficients,
+product-scale accumulation, single trailing rescale):
+
+- :func:`stencil_kernel` — a 2-D convolution as IR over per-tap shifted
+  input planes (the caller shifts image views; the kernel is pure
+  arithmetic, so it stays array-shape agnostic);
+- :func:`fir_kernel` — a 1-D FIR filter over tap-delayed inputs;
+- :func:`mac_chain_kernel` — a weighted-sum (dot product) kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.compiler.ir import Kernel, KernelBuilder
+from repro.errors import WorkloadError
+
+__all__ = ["stencil_kernel", "fir_kernel", "mac_chain_kernel", "COEFF_BITS"]
+
+#: Q-format fraction bits of generated coefficients (matches the stencil
+#: workloads' convention).
+COEFF_BITS = 14
+
+
+def _quantise(coefficient: float) -> int:
+    return int(round(coefficient * (1 << COEFF_BITS)))
+
+
+def stencil_kernel(
+    name: str,
+    taps: Sequence[Sequence[float]],
+    accumulator_width: int = 52,
+) -> Kernel:
+    """A 2-D convolution as a kernel over per-tap input planes.
+
+    Inputs are named ``tap_{dy}_{dx}`` for every non-zero coefficient —
+    the caller supplies each as the correspondingly shifted image view
+    (exactly how the built-in stencils index their padded arrays).  The
+    output ``out`` is the convolution at pixel scale (coefficients are
+    quantised to Q14 and one trailing shift rescales).
+    """
+    rows = [list(row) for row in taps]
+    if not rows or not rows[0] or any(len(r) != len(rows[0]) for r in rows):
+        raise WorkloadError("taps must form a non-empty rectangular matrix")
+    builder = KernelBuilder(name)
+    terms = []
+    for dy, row in enumerate(rows):
+        for dx, coefficient in enumerate(row):
+            if coefficient == 0:
+                continue
+            tap_input = builder.input(f"tap_{dy}_{dx}")
+            quantised = builder.const(_quantise(coefficient))
+            terms.append(builder.mul(quantised, tap_input))
+    if not terms:
+        raise WorkloadError("stencil has no non-zero taps")
+    if len(terms) == 1:
+        total = terms[0]
+    else:
+        total = builder.sum(terms, width=accumulator_width)
+    builder.output("out", builder.shr(total, COEFF_BITS))
+    return builder.build()
+
+
+def fir_kernel(
+    name: str,
+    coefficients: Sequence[float],
+    accumulator_width: int = 52,
+) -> Kernel:
+    """A 1-D FIR filter over tap-delayed input streams ``x0, x1, ...``."""
+    if not coefficients:
+        raise WorkloadError("FIR filter needs at least one coefficient")
+    builder = KernelBuilder(name)
+    terms = []
+    for k, coefficient in enumerate(coefficients):
+        x = builder.input(f"x{k}")
+        if coefficient == 0:
+            continue
+        terms.append(builder.mul(builder.const(_quantise(coefficient)), x))
+    if not terms:
+        raise WorkloadError("FIR filter has no non-zero coefficients")
+    total = terms[0] if len(terms) == 1 else builder.sum(
+        terms, width=accumulator_width
+    )
+    builder.output("y", builder.shr(total, COEFF_BITS))
+    return builder.build()
+
+
+def mac_chain_kernel(
+    name: str,
+    weights: Sequence[int],
+    accumulator_width: int = 52,
+) -> Kernel:
+    """A weighted integer sum ``sum_k w_k * x_k`` (no rescale).
+
+    Integer weights are used verbatim — the shape of the quasi-random
+    radical-inverse and of quantised dot products.
+    """
+    if not weights:
+        raise WorkloadError("MAC chain needs at least one weight")
+    builder = KernelBuilder(name)
+    terms = []
+    for k, weight in enumerate(weights):
+        x = builder.input(f"x{k}")
+        if weight == 0:
+            continue
+        terms.append(builder.mul(builder.const(int(weight)), x))
+    if not terms:
+        raise WorkloadError("MAC chain has no non-zero weights")
+    total = terms[0] if len(terms) == 1 else builder.sum(
+        terms, width=accumulator_width
+    )
+    builder.output("acc", total)
+    return builder.build()

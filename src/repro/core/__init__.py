@@ -1,0 +1,34 @@
+"""APIM core: functional models, cost accounting and configuration (S9-S11).
+
+Public surface:
+
+- :class:`~repro.core.config.APIMConfig` — all architecture constants.
+- :class:`~repro.core.approximation.ApproxSpec` — the runtime accuracy knob.
+- :class:`~repro.core.engine.APIMEngine` — signed array arithmetic with
+  cost accounting (what workloads call).
+- :class:`~repro.core.multiplier.APIMMultiplier` /
+  :class:`~repro.core.adder.APIMAdder` — the unsigned bit-accurate models.
+- :mod:`~repro.core.timing` — every cycle-count formula from the paper.
+"""
+
+from repro.core.adder import AddResult, APIMAdder
+from repro.core.approximation import EXACT, ApproxMode, ApproxSpec
+from repro.core.config import APIMConfig, default_config
+from repro.core.cost import Cost, CostLedger
+from repro.core.engine import APIMEngine
+from repro.core.multiplier import APIMMultiplier, MultiplyResult
+
+__all__ = [
+    "APIMConfig",
+    "default_config",
+    "ApproxSpec",
+    "ApproxMode",
+    "EXACT",
+    "Cost",
+    "CostLedger",
+    "APIMEngine",
+    "APIMMultiplier",
+    "MultiplyResult",
+    "APIMAdder",
+    "AddResult",
+]

@@ -1,0 +1,164 @@
+"""Derived arithmetic built from APIM's add/multiply primitives.
+
+The paper (Section 4.1): "The other common operations such as square root
+has been approximated by these two functions [addition and multiplication]
+in OpenCL code."  This module provides those compositions as first-class
+library operations — Newton-Raphson reciprocal, division and square root
+over the engine's fixed-point datapath — so workloads that need them (and
+users porting their own kernels) get the same cost accounting and
+approximation behaviour as the primitive operations.
+
+All routines operate on unsigned fixed-point values with ``frac_bits``
+fractional bits, iterate a fixed (data-independent) number of Newton
+steps — hardware cannot data-depend its schedule — and route every
+multiply/add through the :class:`~repro.core.engine.APIMEngine`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engine import APIMEngine
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "fixed_reciprocal",
+    "fixed_divide",
+    "fixed_sqrt",
+    "magnitude_approx",
+]
+
+#: Newton-Raphson iterations; four steps converge the power-of-two seed
+#: (initial error <= 0.5) to ~2e-5 relative error, ample for Q16 work.
+DEFAULT_ITERATIONS = 4
+
+
+def _check_frac_bits(frac_bits: int) -> None:
+    if not 1 <= frac_bits <= 24:
+        raise ConfigurationError(f"frac_bits {frac_bits} outside [1, 24]")
+
+
+def _reciprocal_seed(values: np.ndarray, frac_bits: int) -> np.ndarray:
+    """Initial 1/x estimate from the operand's magnitude (a LUT/priority
+    encoder in hardware — free relative to the Newton multiplies).
+
+    For x in [2^(k-1), 2^k): seed = 2^(2*frac_bits) / 2^k, i.e. a power of
+    two within 2x of the true reciprocal — enough for quadratic
+    convergence.
+    """
+    one = np.int64(1)
+    bit_lengths = np.zeros_like(values)
+    probe = values.copy()
+    while np.any(probe > 0):
+        mask = probe > 0
+        bit_lengths = np.where(mask, bit_lengths + one, bit_lengths)
+        probe = probe >> one
+    return np.where(
+        values > 0,
+        one << np.minimum(
+            np.maximum(2 * frac_bits - bit_lengths, 0), np.int64(62)
+        ),
+        one << np.int64(62 - frac_bits),  # x = 0: saturate
+    ).astype(np.int64)
+
+
+def fixed_reciprocal(
+    engine: APIMEngine,
+    values: np.ndarray | int,
+    frac_bits: int = 16,
+    iterations: int = DEFAULT_ITERATIONS,
+) -> np.ndarray:
+    """Fixed-point ``1 / x`` via Newton-Raphson on the engine.
+
+    Iterates ``r <- r * (2 - x * r)``, every multiply through APIM.
+    Operands and results are Q(32 - frac_bits).frac_bits values; ``x`` must
+    be positive (the caller handles signs — APIM's datapath is
+    sign-magnitude anyway).
+    """
+    _check_frac_bits(frac_bits)
+    if iterations < 1:
+        raise ConfigurationError("iterations must be >= 1")
+    x = np.atleast_1d(np.asarray(values, dtype=np.int64))
+    if np.any(x < 0):
+        raise ConfigurationError("fixed_reciprocal needs non-negative input")
+    two = np.int64(2) << np.int64(frac_bits)
+    r = _reciprocal_seed(x, frac_bits)
+    for _ in range(iterations):
+        # x*r is Q(2*frac_bits); rescale each product back to Q(frac_bits).
+        xr = engine.shift_right(engine.mul(x, r), frac_bits)
+        # Saturate the correction to [0, 2.0): the controller clamps the
+        # Newton update so that aggressive approximation settings (which
+        # can corrupt intermediates wildly) degrade gracefully instead of
+        # driving operands out of the datapath's range.
+        correction = np.clip(engine.sub(two, xr, width=40), 0, two - 1)
+        r = engine.shift_right(engine.mul(r, correction), frac_bits)
+        r = np.clip(r, 0, np.int64(1) << np.int64(30))
+    return r if np.ndim(values) else r
+
+
+def fixed_divide(
+    engine: APIMEngine,
+    numerators: np.ndarray | int,
+    denominators: np.ndarray | int,
+    frac_bits: int = 16,
+    iterations: int = DEFAULT_ITERATIONS,
+) -> np.ndarray:
+    """Fixed-point ``a / b`` as ``a * reciprocal(b)`` on the engine."""
+    _check_frac_bits(frac_bits)
+    a = np.atleast_1d(np.asarray(numerators, dtype=np.int64))
+    recip = fixed_reciprocal(engine, denominators, frac_bits, iterations)
+    return engine.shift_right(engine.mul(a, recip), frac_bits)
+
+
+def fixed_sqrt(
+    engine: APIMEngine,
+    values: np.ndarray | int,
+    frac_bits: int = 16,
+    iterations: int = DEFAULT_ITERATIONS + 1,
+) -> np.ndarray:
+    """Fixed-point ``sqrt(x)`` via damped Newton (Babylonian) iteration.
+
+    ``s <- (s + x / s) / 2`` with the division expanded through
+    :func:`fixed_reciprocal`; the seed is ``2^ceil(bitlen/2)`` scaled to
+    the Q format (a shift in hardware).
+    """
+    _check_frac_bits(frac_bits)
+    if iterations < 1:
+        raise ConfigurationError("iterations must be >= 1")
+    x = np.atleast_1d(np.asarray(values, dtype=np.int64))
+    if np.any(x < 0):
+        raise ConfigurationError("fixed_sqrt needs non-negative input")
+    # Seed: power of two near sqrt(x) in the Q format.
+    one = np.int64(1)
+    bit_lengths = np.zeros_like(x)
+    probe = x.copy()
+    while np.any(probe > 0):
+        mask = probe > 0
+        bit_lengths = np.where(mask, bit_lengths + one, bit_lengths)
+        probe = probe >> one
+    # sqrt of Q(frac) value v = sqrt(v_real) in Q(frac):
+    # exponent (bitlen + frac_bits) / 2.
+    seed_exp = np.maximum((bit_lengths + frac_bits) // 2, one)
+    s = (one << np.minimum(seed_exp, np.int64(40))).astype(np.int64)
+    for _ in range(iterations):
+        quotient = fixed_divide(engine, x, np.maximum(s, 1), frac_bits, 3)
+        s = engine.shift_right(engine.add(s, quotient, width=48), 1)
+    return np.where(x == 0, np.int64(0), s)
+
+
+def magnitude_approx(
+    engine: APIMEngine,
+    x: np.ndarray | int,
+    y: np.ndarray | int,
+    width: int = 48,
+) -> np.ndarray:
+    """The stencil kernels' sqrt-free magnitude: ``|x| + |y|``.
+
+    This is the exact composition the paper's OpenCL sources use in place
+    of ``sqrt(x^2 + y^2)``; |.| is free on the sign-magnitude datapath.
+    """
+    return engine.add(
+        np.abs(np.asarray(x, dtype=np.int64)),
+        np.abs(np.asarray(y, dtype=np.int64)),
+        width=width,
+    )

@@ -1,0 +1,175 @@
+"""Functional (bit-accurate, vectorised) model of the APIM multiplier.
+
+Implements the three-stage multiplication of paper Section 3.3 /
+Figure 1(b)-(d) over NumPy arrays:
+
+1. **Partial product generation** — the multiplier is read bit-wise through
+   the sense amplifier and the (pre-inverted) multiplicand is copy-shifted
+   into the processing block once per *set* bit.
+2. **Fast addition** — Wallace 3:2 carry-save reduction of the partial
+   products down to two survivors (:mod:`repro.core.wallace`).
+3. **Final product generation** — serial addition of the survivors, either
+   exact or with the last-stage approximation
+   (:func:`repro.core.approximation.approximate_final_add`).
+
+Latency and energy are charged per array element from the canonical
+formulas in :mod:`repro.core.timing`; because every per-element cost is a
+pure function of the multiplier's popcount, array-wide cost evaluation is a
+popcount histogram away from the scalar model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.approximation import (
+    EXACT,
+    ApproxSpec,
+    approximate_final_add,
+    mask_multiplier,
+)
+from repro.core.config import APIMConfig, default_config
+from repro.core.cost import Cost
+from repro.core.timing import cost_multiply
+from repro.core.wallace import (
+    reduce_partial_products,
+    reduce_partial_products_vectorised,
+)
+from repro.errors import ConfigurationError
+
+__all__ = ["APIMMultiplier", "MultiplyResult", "popcount"]
+
+
+def popcount(values: np.ndarray) -> np.ndarray:
+    """Per-element set-bit count of a uint64 array."""
+    return np.bitwise_count(np.asarray(values, dtype=np.uint64))
+
+
+@dataclass(frozen=True)
+class MultiplyResult:
+    """Products plus the aggregate cost of producing them."""
+
+    products: np.ndarray
+    cost: Cost
+
+    def __iter__(self):
+        return iter((self.products, self.cost))
+
+
+class APIMMultiplier:
+    """Unsigned N x N in-memory multiplier (functional model).
+
+    Parameters
+    ----------
+    config:
+        Architecture configuration; ``config.word_bits`` fixes the operand
+        width N (the paper evaluates N = 32, product width 64).
+    """
+
+    def __init__(self, config: APIMConfig | None = None) -> None:
+        self.config = config or default_config()
+        n = self.config.word_bits
+        if n > 32:
+            raise ConfigurationError(
+                "functional multiplier supports word_bits <= 32 "
+                "(products must fit in uint64)"
+            )
+        self._operand_mask = np.uint64((1 << n) - 1)
+        # Per-popcount cost tables, built lazily per relax setting.
+        self._cost_tables: dict[tuple[int, int], list[Cost]] = {}
+
+    # -- public API -------------------------------------------------------
+
+    def multiply(
+        self, a: np.ndarray | int, b: np.ndarray | int, spec: ApproxSpec = EXACT
+    ) -> MultiplyResult:
+        """Multiply arrays of unsigned operands under an approximation spec.
+
+        Returns products as ``uint64`` and the summed :class:`Cost` over all
+        elements.  Operands must fit in ``word_bits``.
+        """
+        n = self.config.word_bits
+        spec.validate_for(n)
+        av = self._check_operands(a, "multiplicand")
+        bv = self._check_operands(b, "multiplier")
+        b_eff = mask_multiplier(bv, spec.masked_bits, n)
+        x, y = reduce_partial_products_vectorised(av, b_eff, n)
+        products = approximate_final_add(x, y, 2 * n, spec.relax_bits)
+        if spec.relax_bits:
+            # Multipliers with at most one set bit never enter the final
+            # stage (the lone partial product *is* the product), so no
+            # approximation is applied to them in hardware.
+            trivial = popcount(b_eff) <= 1
+            if np.any(trivial):
+                products = np.where(trivial, av * b_eff, products)
+        cost = self._array_cost(b_eff, spec)
+        return MultiplyResult(products=products, cost=cost)
+
+    def multiply_scalar(
+        self, a: int, b: int, spec: ApproxSpec = EXACT
+    ) -> tuple[int, Cost]:
+        """Hardware-faithful scalar multiply (zero partial products skipped).
+
+        This is the reference the structural crossbar simulator is validated
+        against; it differs from :meth:`multiply` only in which rows enter
+        the reduction tree (never in the exact product value).
+        """
+        n = self.config.word_bits
+        spec.validate_for(n)
+        if a < 0 or b < 0 or a >= 1 << n or b >= 1 << n:
+            raise ConfigurationError(
+                f"operands ({a}, {b}) must be unsigned {n}-bit values"
+            )
+        b_eff = int(mask_multiplier(b, spec.masked_bits, n))
+        set_bits = bin(b_eff).count("1")
+        if set_bits <= 1:
+            # No final stage: the lone (or absent) partial product is exact.
+            return a * b_eff, cost_multiply(n, set_bits, spec.relax_bits)
+        x, y = reduce_partial_products(a, b_eff, n)
+        product = int(
+            approximate_final_add(
+                np.uint64(x), np.uint64(y), 2 * n, spec.relax_bits
+            )
+        )
+        return product, cost_multiply(n, set_bits, spec.relax_bits)
+
+    def exact_reference(self, a: np.ndarray | int, b: np.ndarray | int) -> np.ndarray:
+        """The golden exact product (no cost), for accuracy evaluation."""
+        av = self._check_operands(a, "multiplicand")
+        bv = self._check_operands(b, "multiplier")
+        return av * bv
+
+    # -- internals ---------------------------------------------------------
+
+    def _check_operands(self, values: np.ndarray | int, name: str) -> np.ndarray:
+        array = np.asarray(values, dtype=np.uint64)
+        if np.any(array > self._operand_mask):
+            raise ConfigurationError(
+                f"{name} exceeds the {self.config.word_bits}-bit word width"
+            )
+        return array
+
+    def _cost_table(self, relax_bits: int) -> list[Cost]:
+        """Cost of one multiply for every possible multiplier popcount."""
+        n = self.config.word_bits
+        key = (n, relax_bits)
+        table = self._cost_tables.get(key)
+        if table is None:
+            table = [cost_multiply(n, c, relax_bits) for c in range(n + 1)]
+            self._cost_tables[key] = table
+        return table
+
+    def _array_cost(self, multipliers: np.ndarray, spec: ApproxSpec) -> Cost:
+        """Aggregate cost over an array via a popcount histogram."""
+        counts = popcount(multipliers)
+        histogram = np.bincount(
+            counts.ravel().astype(np.int64), minlength=self.config.word_bits + 1
+        )
+        table = self._cost_table(spec.relax_bits)
+        total = Cost()
+        for set_bits, occurrences in enumerate(histogram):
+            if occurrences:
+                total += table[set_bits].scaled(int(occurrences))
+        return total

@@ -1,0 +1,84 @@
+"""Analytic error statistics of the last-stage approximation.
+
+The MAJ shortcut (``S_i = NOT(C_{i+1})``) errs on exactly two of the eight
+input patterns of a 1-bit addition; this module derives the closed-form
+consequences for uniformly random addends and checks them against the bit
+model — the theory that grounds the empirical QoL curves:
+
+- per-bit error probability: 1/4 (the paper's "25 % error ... for a
+  random input data");
+- each erroneous bit at position ``i`` flips the output by ``+-2^i``, with
+  sign determined by the pattern ((0,0,0) adds, (1,1,1) subtracts), both
+  patterns equally likely -> zero-mean error;
+- expected absolute error of relaxing ``m`` LSBs is therefore bounded by
+  ``sum_i 2^i / 4 = (2^m - 1) / 4`` and concentrates near that scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.approximation import approximate_final_add
+from repro.errors import ApproximationError
+
+__all__ = [
+    "per_bit_error_probability",
+    "expected_abs_error_bound",
+    "measure_error_moments",
+]
+
+
+def per_bit_error_probability() -> float:
+    """Probability that one relaxed sum bit is wrong for uniform random
+    inputs: 2 failing patterns of 8 (paper Section 3.4)."""
+    return 0.25
+
+
+def expected_abs_error_bound(relax_bits: int) -> float:
+    """Upper bound on E|error| of relaxing ``m`` LSBs (uniform inputs).
+
+    Linearity of expectation over positions: each contributes at most
+    ``2^i / 4``.  (A bound rather than an equality because bit errors are
+    correlated through the shared carry chain.)
+    """
+    if relax_bits < 0:
+        raise ApproximationError(f"relax_bits must be >= 0: {relax_bits}")
+    if relax_bits == 0:
+        return 0.0
+    return (2.0**relax_bits - 1.0) / 4.0
+
+
+def measure_error_moments(
+    relax_bits: int,
+    width: int = 40,
+    samples: int = 50000,
+    seed: int = 2017,
+) -> dict[str, float]:
+    """Monte-Carlo moments of the approximation error.
+
+    Returns ``mean``, ``mean_abs`` and ``per_bit_rate`` (the measured
+    fraction of wrong bits among the relaxed positions), for uniform
+    random addends of ``width - 1`` bits.
+    """
+    if not 0 <= relax_bits <= width <= 63:
+        raise ApproximationError(
+            f"need 0 <= relax_bits <= width <= 63, got "
+            f"({relax_bits}, {width})"
+        )
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, 1 << (width - 1), samples, dtype=np.uint64)
+    y = rng.integers(0, 1 << (width - 1), samples, dtype=np.uint64)
+    approx = approximate_final_add(x, y, width, relax_bits)
+    exact = x + y
+    signed_error = approx.astype(np.int64) - exact.astype(np.int64)
+    if relax_bits:
+        flipped = (approx ^ exact) & np.uint64((1 << relax_bits) - 1)
+        wrong_bits = np.bitwise_count(flipped).astype(np.float64)
+        per_bit = float(wrong_bits.mean() / relax_bits)
+    else:
+        per_bit = 0.0
+    return {
+        "mean": float(signed_error.mean()),
+        "mean_abs": float(np.abs(signed_error).mean()),
+        "per_bit_rate": per_bit,
+    }

@@ -1,0 +1,43 @@
+"""Structural crossbar simulator (S2-S8).
+
+This subpackage models the APIM memory unit at the level of Figure 1(a):
+crossbar blocks of VTEAM cells, row/column decoders, MAGIC NOR execution,
+the configurable inter-block interconnect (barrel shifter), and the modified
+sense amplifier with its MAJ mode.  On top of those primitives it implements
+the paper's adders and multiplier as explicit micro-op sequences.
+
+The structural model is bit-exact and cycle-exact but slow; it exists to
+validate the fast functional models in :mod:`repro.core` (see
+``tests/test_cross_validation.py``) and to serve device-level experiments.
+"""
+
+from repro.crossbar.array import CrossbarArray
+from repro.crossbar.block import BlockedCrossbar
+from repro.crossbar.interconnect import ConfigurableInterconnect
+from repro.crossbar.magic import MagicEngine
+from repro.crossbar.sense_amp import SenseAmplifier
+from repro.crossbar.structural_adder import StructuralAdder
+from repro.crossbar.structural_multiplier import StructuralMultiplier
+from repro.crossbar.controller import MemoryController
+from repro.crossbar.mapper import CrossbarMapper, DataLayout
+from repro.crossbar.microcode import (
+    emit_copy_shifted,
+    emit_full_adder_bit,
+    emit_serial_add,
+)
+
+__all__ = [
+    "CrossbarArray",
+    "BlockedCrossbar",
+    "ConfigurableInterconnect",
+    "MagicEngine",
+    "SenseAmplifier",
+    "StructuralAdder",
+    "StructuralMultiplier",
+    "MemoryController",
+    "CrossbarMapper",
+    "DataLayout",
+    "emit_serial_add",
+    "emit_copy_shifted",
+    "emit_full_adder_bit",
+]

@@ -1,0 +1,288 @@
+"""The blocked crossbar memory unit (paper Section 3.1, Figure 1a).
+
+A :class:`BlockedCrossbar` chains several :class:`CrossbarArray` blocks,
+adjacent pairs joined by a :class:`ConfigurableInterconnect`.  New data lands
+in *data* blocks; computation happens in *processing* blocks; the two are
+structurally identical and used interchangeably (the N:2 reduction toggles
+between a pair of blocks at every stage).
+
+Latency accounting follows the paper's overlap arguments:
+
+- **Shift-while-copy**: routing through the interconnect adds no cycles to a
+  copy; a shifted copy costs the same two NOT cycles as an unshifted one.
+- **Arranged write-back**: the outputs of a reduction stage are written
+  *through* the interconnect directly into their arranged positions in the
+  neighbouring block, so inter-stage arrangement consumes interconnect
+  energy but no additional cycles.  Structurally we execute the stage
+  in-place and then relocate the outputs with :meth:`move_row_free`, which
+  charges the interconnect traffic and zero cycles — the physical write
+  already happened inside the stage's final NOR.
+
+All blocks share row/column decoders and a single global clock; per-block
+:class:`MagicEngine` counters are kept in lock step by this class.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.cost import Cost
+from repro.crossbar.array import CrossbarArray
+from repro.crossbar.interconnect import ConfigurableInterconnect
+from repro.crossbar.magic import MagicEngine
+from repro.crossbar.sense_amp import SenseAmplifier
+from repro.device.vteam import VTEAMModel
+from repro.errors import CrossbarError
+
+__all__ = ["BlockedCrossbar"]
+
+
+class BlockedCrossbar:
+    """A chain of crossbar blocks with configurable interconnects.
+
+    Parameters
+    ----------
+    num_blocks:
+        Blocks in the chain (>= 2: at least one data + one processing).
+    rows, cols:
+        Dimensions of every block.
+    model:
+        Shared VTEAM device model.
+    """
+
+    def __init__(
+        self,
+        num_blocks: int,
+        rows: int,
+        cols: int,
+        model: VTEAMModel | None = None,
+    ) -> None:
+        if num_blocks < 2:
+            raise CrossbarError("a blocked crossbar needs at least two blocks")
+        self.model = model or VTEAMModel()
+        self.blocks = [
+            CrossbarArray(rows, cols, self.model, name=f"block{i}")
+            for i in range(num_blocks)
+        ]
+        self.engines = [MagicEngine(block) for block in self.blocks]
+        self.sense_amps = [SenseAmplifier(block) for block in self.blocks]
+        self.interconnects = [
+            ConfigurableInterconnect(cols) for _ in range(num_blocks - 1)
+        ]
+        self.rows = rows
+        self.cols = cols
+        self._extra_cost = Cost()
+
+    # -- clocking ----------------------------------------------------------
+
+    @property
+    def cycles(self) -> int:
+        """Global cycle count: all blocks share one clock."""
+        return max(engine.cycles for engine in self.engines)
+
+    def sync_clocks(self) -> None:
+        """Bring every block's engine up to the global time.
+
+        Must be called before running micro-ops on a block that has been
+        idle while another block computed — the blocks share one clock, so
+        serialized cross-block work accumulates on the global timeline.
+        """
+        now = self.cycles
+        for engine in self.engines:
+            engine.sync_to(now)
+
+    @property
+    def total_cost(self) -> Cost:
+        """Aggregate micro-event cost across blocks and interconnects.
+
+        Cycle count is the *global* clock (blocks run in lock step), not the
+        sum of per-block counters.
+        """
+        merged = sum((engine.cost for engine in self.engines), Cost())
+        merged += self._extra_cost
+        return Cost(
+            cycles=self.cycles,
+            nor_ops=merged.nor_ops,
+            cell_writes=merged.cell_writes,
+            sa_reads=merged.sa_reads
+            + sum(sa.read_count for sa in self.sense_amps),
+            maj_ops=merged.maj_ops + sum(sa.maj_count for sa in self.sense_amps),
+            interconnect_bits=merged.interconnect_bits
+            + sum(icn.bits_transferred for icn in self.interconnects),
+        )
+
+    def charge(self, cost: Cost) -> None:
+        """Record cost incurred by composite operations (SA-driven cycles)."""
+        self._extra_cost += Cost(
+            nor_ops=cost.nor_ops,
+            cell_writes=cost.cell_writes,
+            sa_reads=cost.sa_reads,
+            maj_ops=cost.maj_ops,
+            interconnect_bits=cost.interconnect_bits,
+        )
+        if cost.cycles:
+            self.advance_clock(int(cost.cycles))
+
+    def charge_writes(self, count: int) -> None:
+        """Account explicit driver write-backs (e.g. the MAJ carry chain)."""
+        if count < 0:
+            raise CrossbarError(f"write count must be non-negative: {count}")
+        self._extra_cost += Cost(cell_writes=count)
+
+    def advance_clock(self, cycles: int) -> None:
+        """Advance the global clock by ``cycles`` (composite operations)."""
+        if cycles < 0:
+            raise CrossbarError(f"cannot advance clock by {cycles}")
+        target = self.cycles + cycles
+        for engine in self.engines:
+            engine.sync_to(target)
+
+    # -- block access -----------------------------------------------------------
+
+    def block(self, index: int) -> CrossbarArray:
+        """The ``index``-th block (with range checking)."""
+        self._check_block(index)
+        return self.blocks[index]
+
+    def engine(self, index: int) -> MagicEngine:
+        """The MAGIC engine of one block."""
+        self._check_block(index)
+        return self.engines[index]
+
+    def sense_amp(self, index: int) -> SenseAmplifier:
+        """The sense-amplifier bank of one block."""
+        self._check_block(index)
+        return self.sense_amps[index]
+
+    def _check_block(self, index: int) -> None:
+        if not 0 <= index < len(self.blocks):
+            raise CrossbarError(
+                f"block index {index} outside [0, {len(self.blocks)})"
+            )
+
+    def _interconnect_between(self, a: int, b: int) -> ConfigurableInterconnect:
+        self._check_block(a)
+        self._check_block(b)
+        if abs(a - b) != 1:
+            raise CrossbarError(
+                f"blocks {a} and {b} are not adjacent; the interconnect "
+                "only joins neighbouring blocks"
+            )
+        return self.interconnects[min(a, b)]
+
+    # -- data movement ------------------------------------------------------------
+
+    def copy_row_shifted(
+        self,
+        src_block: int,
+        src_row: int,
+        dst_block: int,
+        dst_row: int,
+        width: int,
+        src_col: int = 0,
+        shift: int = 0,
+        inverted_row: int | None = None,
+        inverted_ready: bool = False,
+    ) -> None:
+        """Copy a row segment to an adjacent block, shifted by ``shift``.
+
+        Implements the two-NOT copy through the interconnect: the first NOT
+        produces the inverted source (in ``inverted_row`` of the source
+        block, reusable across copies), the second NOT lands directly in the
+        destination block at ``src_col + shift``.  Latency: 2 cycles, or 1
+        when ``inverted_ready``.  Scratch initialisation is covered by the
+        bulk pre-initialisation of processing-block scratch space and adds
+        no cycles (see module docstring).
+        """
+        icn = self._interconnect_between(src_block, dst_block)
+        icn.configure(shift)
+        dst_cols = icn.route_segment(src_col, width)
+        src = self.blocks[src_block]
+        dst = self.blocks[dst_block]
+        if dst_row < 0 or dst_row >= dst.rows:
+            raise CrossbarError(f"destination row {dst_row} outside block")
+        inverted_row = src_row if inverted_row is None else inverted_row
+        cycles = 1 if inverted_ready else 2
+        # Logical effect: dst[dst_row, c+shift] = src[src_row, c].
+        for offset in range(width):
+            bit = src.value(src_row, src_col + offset)
+            dst.set_value(dst_row, dst_cols.start + offset, bit)
+        icn.record_transfer(width)  # interconnect traffic (energy)
+        self.advance_clock(cycles)
+        nor_ops = width if inverted_ready else 2 * width
+        self._extra_cost += Cost(nor_ops=nor_ops)
+
+    def move_row_free(
+        self,
+        src_block: int,
+        src_row: int,
+        dst_block: int,
+        dst_row: int,
+        width: int,
+        src_col: int = 0,
+        shift: int = 0,
+    ) -> None:
+        """Relocate a row with zero added cycles (arranged write-back).
+
+        Models the paper's overlap: a reduction stage's outputs are written
+        through the interconnect into their arranged destination, so only
+        the interconnect traffic is charged here — the cell writes and
+        cycles were part of the producing NORs.
+        """
+        icn = self._interconnect_between(src_block, dst_block)
+        icn.configure(shift)
+        dst_cols = icn.route_segment(src_col, width)
+        src = self.blocks[src_block]
+        dst = self.blocks[dst_block]
+        for offset in range(width):
+            bit = src.value(src_row, src_col + offset)
+            # Bypass write statistics: physically this write already
+            # happened inside the producing NOR.
+            dst.set_state(dst_row, dst_cols.start + offset, 1.0 if bit else 0.0)
+        icn.record_transfer(width)
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def save_checkpoint(self, path: str) -> None:
+        """Persist every block's cell state and the global clock to ``path``
+        (NumPy ``.npz``), so long structural runs can resume mid-stream."""
+        import numpy as np
+
+        arrays = {
+            f"block_{i}": block.snapshot()
+            for i, block in enumerate(self.blocks)
+        }
+        arrays["clock"] = np.array([self.cycles], dtype=np.int64)
+        np.savez_compressed(path, **arrays)
+
+    def load_checkpoint(self, path: str) -> None:
+        """Restore a :meth:`save_checkpoint` snapshot (state + clock).
+
+        Cost counters are NOT restored — a resumed run accounts only the
+        work it performs; merge ledgers externally when cumulative cost is
+        needed.
+        """
+        import numpy as np
+
+        with np.load(path) as data:
+            for i, block in enumerate(self.blocks):
+                key = f"block_{i}"
+                if key not in data:
+                    raise CrossbarError(
+                        f"checkpoint lacks {key}; fabric has "
+                        f"{len(self.blocks)} blocks"
+                    )
+                block.restore(data[key])
+            self.advance_clock(max(0, int(data["clock"][0]) - self.cycles))
+
+    def write_word(
+        self, block: int, row: int, value: int, width: int, start_col: int = 0
+    ) -> None:
+        """Load external data into a data block (DMA-style, not timed)."""
+        self.block(block).write_word(row, value, width, start_col)
+
+    def read_word(
+        self, block: int, row: int, width: int, start_col: int = 0
+    ) -> int:
+        """Read a word out of a block (verification path, not timed)."""
+        return self.block(block).read_word(row, width, start_col)

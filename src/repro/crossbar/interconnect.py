@@ -1,0 +1,98 @@
+"""The configurable inter-block interconnect (paper Section 3.1, Figure 3a).
+
+A barrel-shifter-like switch matrix connects the bitlines of two adjacent
+blocks: incoming bitline ``b_i`` of the source block can be routed to
+outgoing bitline ``b'_{i+shift}`` of the destination block.  Because the
+routing happens *while current flows between the blocks*, a shifted copy (or
+an inter-block MAGIC NOR) costs no more latency than an unshifted one —
+this is the key enabler of free partial-product alignment.
+
+The interconnect is modelled as a shift amount plus per-transfer validation;
+switch-level circuit detail (the transistor ladder of Figure 3a) is
+abstracted into the per-bit transfer energy ``APIMConfig.e_interconnect``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CrossbarError
+
+__all__ = ["ConfigurableInterconnect"]
+
+
+class ConfigurableInterconnect:
+    """Switchable bitline-to-bitline routing between two block faces.
+
+    Parameters
+    ----------
+    cols:
+        Number of bitlines on each side (both blocks share the column count,
+        as they share the same column decoder in the paper's design).
+    max_shift:
+        Largest supported shift; in hardware this is set by the number of
+        switch stages.  Defaults to ``cols - 1`` (full barrel).
+    """
+
+    def __init__(self, cols: int, max_shift: int | None = None) -> None:
+        if cols <= 0:
+            raise CrossbarError(f"cols must be positive, got {cols}")
+        self.cols = cols
+        self.max_shift = cols - 1 if max_shift is None else max_shift
+        if not 0 <= self.max_shift < cols:
+            raise CrossbarError(
+                f"max_shift {self.max_shift} outside [0, {cols - 1}]"
+            )
+        self._shift = 0
+        self.bits_transferred = 0
+        self.configuration_changes = 0
+
+    @property
+    def shift(self) -> int:
+        """Currently configured shift (select signals ``s_n`` of Fig. 3a)."""
+        return self._shift
+
+    def configure(self, shift: int) -> None:
+        """Set the shift amount.
+
+        Reconfiguration is performed by the memory controller between
+        operations and does not consume MAGIC cycles (the controller
+        pipelines it with the preceding write-back).
+        """
+        if not 0 <= shift <= self.max_shift:
+            raise CrossbarError(
+                f"shift {shift} outside supported range [0, {self.max_shift}]"
+            )
+        if shift != self._shift:
+            self.configuration_changes += 1
+        self._shift = shift
+
+    def route(self, src_col: int) -> int:
+        """Destination bitline for a source bitline under the current shift."""
+        if not 0 <= src_col < self.cols:
+            raise CrossbarError(f"source column {src_col} outside [0, {self.cols})")
+        dst = src_col + self._shift
+        if dst >= self.cols:
+            raise CrossbarError(
+                f"shifted column {dst} falls off the destination block "
+                f"({self.cols} bitlines)"
+            )
+        return dst
+
+    def route_segment(self, start_col: int, width: int) -> range:
+        """Destination column range of a ``width``-bit field; validates that
+        the whole field stays on the destination block."""
+        if width <= 0:
+            raise CrossbarError(f"width must be positive, got {width}")
+        first = self.route(start_col)
+        last_src = start_col + width - 1
+        if last_src >= self.cols:
+            raise CrossbarError(
+                f"source field [{start_col}, {last_src}] exceeds {self.cols} bitlines"
+            )
+        self.route(last_src)  # validates the far end
+        return range(first, first + width)
+
+    def record_transfer(self, bits: int) -> None:
+        """Account for ``bits`` crossing the switch matrix (energy hook)."""
+        if bits < 0:
+            raise CrossbarError(f"bits must be non-negative, got {bits}")
+        self.bits_transferred += bits

@@ -1,0 +1,186 @@
+"""Data layout: mapping application arrays onto the blocked crossbar.
+
+APIM computes where data lives, so layout *is* scheduling: an array must
+be placed so that operand words share rows with their partners' bitlines,
+each lane's operands sit within one block pair, and scratch space remains
+for the operation chains.  This module provides that mapping layer:
+
+- :class:`DataLayout` — placement of a named array: which blocks, which
+  rows, how many words per row.
+- :class:`CrossbarMapper` — allocates layouts over a machine-sized fabric
+  (without materialising it), computes lane assignments for element-wise
+  operations between arrays, and reports utilisation.
+
+The runtime's analytic lane model
+(:meth:`~repro.core.config.APIMConfig.parallel_lanes`) is the aggregate
+view of exactly this mapping; ``tests/test_mapper.py`` pins the two to
+agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import APIMConfig, default_config
+from repro.errors import CrossbarError
+
+__all__ = ["DataLayout", "CrossbarMapper", "Placement"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Physical home of one array word."""
+
+    block: int
+    row: int
+    start_col: int
+
+
+@dataclass(frozen=True)
+class DataLayout:
+    """Placement of one named array across data blocks.
+
+    Words are packed row-major: ``words_per_row`` words per crossbar row,
+    ``rows_per_block`` data rows per block (the rest of each block is
+    processing/scratch territory).
+    """
+
+    name: str
+    elements: int
+    word_bits: int
+    first_block: int
+    blocks_used: int
+    words_per_row: int
+    rows_per_block: int
+
+    def placement(self, index: int) -> Placement:
+        """Physical location of element ``index``."""
+        if not 0 <= index < self.elements:
+            raise CrossbarError(
+                f"element {index} outside array {self.name!r} "
+                f"({self.elements} elements)"
+            )
+        words_per_block = self.words_per_row * self.rows_per_block
+        block = self.first_block + index // words_per_block
+        within = index % words_per_block
+        row = within // self.words_per_row
+        col = (within % self.words_per_row) * self.word_bits
+        return Placement(block=block, row=row, start_col=col)
+
+    @property
+    def capacity(self) -> int:
+        """Words the reserved span can hold."""
+        return self.blocks_used * self.words_per_row * self.rows_per_block
+
+
+class CrossbarMapper:
+    """Allocates array layouts over an APIM machine.
+
+    Parameters
+    ----------
+    config:
+        Machine geometry.
+    data_row_fraction:
+        Fraction of each block's rows holding data (the remainder is the
+        processing/scratch region the lane model prices).
+    """
+
+    def __init__(
+        self,
+        config: APIMConfig | None = None,
+        data_row_fraction: float = 0.5,
+    ) -> None:
+        if not 0 < data_row_fraction < 1:
+            raise CrossbarError("data_row_fraction must be in (0, 1)")
+        self.config = config or default_config()
+        self.data_row_fraction = data_row_fraction
+        self._next_block = 0
+        self.layouts: dict[str, DataLayout] = {}
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def words_per_row(self) -> int:
+        """Words of ``word_bits`` packed in one crossbar row.
+
+        Each operand word needs room for its double-width product next to
+        it, so packing is ``cols // (2 * word_bits)``.
+        """
+        cfg = self.config
+        per = cfg.block_cols // (2 * cfg.word_bits)
+        if per == 0:
+            raise CrossbarError(
+                f"block columns ({cfg.block_cols}) cannot hold one "
+                f"{2 * cfg.word_bits}-bit product"
+            )
+        return per
+
+    @property
+    def data_rows_per_block(self) -> int:
+        """Rows of each block reserved for data."""
+        return max(1, int(self.config.block_rows * self.data_row_fraction))
+
+    # -- allocation -----------------------------------------------------------
+
+    def place(self, name: str, elements: int) -> DataLayout:
+        """Allocate a layout for ``elements`` words under ``name``."""
+        if name in self.layouts:
+            raise CrossbarError(f"array {name!r} already placed")
+        if elements <= 0:
+            raise CrossbarError(f"element count must be positive: {elements}")
+        words_per_block = self.words_per_row * self.data_rows_per_block
+        blocks = -(-elements // words_per_block)
+        layout = DataLayout(
+            name=name,
+            elements=elements,
+            word_bits=self.config.word_bits,
+            first_block=self._next_block,
+            blocks_used=blocks,
+            words_per_row=self.words_per_row,
+            rows_per_block=self.data_rows_per_block,
+        )
+        self._next_block += blocks
+        self.layouts[name] = layout
+        return layout
+
+    def blocks_allocated(self) -> int:
+        """Blocks consumed so far."""
+        return self._next_block
+
+    # -- lane assignment ---------------------------------------------------------
+
+    def elementwise_lanes(self, *names: str) -> int:
+        """Concurrent lanes for an element-wise op over the named arrays.
+
+        Operands of one element co-reside in the same relative position of
+        their layouts (same block offset/row/column), so one block pair's
+        processing rows bound the lanes per block; the arrays' block span
+        bounds the block-level parallelism.
+        """
+        if not names:
+            raise CrossbarError("need at least one array")
+        layouts = [self._layout(name) for name in names]
+        elements = {layout.elements for layout in layouts}
+        if len(elements) != 1:
+            raise CrossbarError(
+                "element-wise operands must have equal element counts: "
+                f"{sorted(elements)}"
+            )
+        span = max(layout.blocks_used for layout in layouts)
+        processing_rows = self.config.block_rows - self.data_rows_per_block
+        lanes_per_block = max(
+            1, processing_rows // self.config.mult_rows_per_lane
+        )
+        return span * lanes_per_block
+
+    def utilization(self, name: str) -> float:
+        """Fraction of the reserved span actually holding words."""
+        layout = self._layout(name)
+        return layout.elements / layout.capacity
+
+    def _layout(self, name: str) -> DataLayout:
+        if name not in self.layouts:
+            raise CrossbarError(
+                f"array {name!r} not placed; have {sorted(self.layouts)}"
+            )
+        return self.layouts[name]

@@ -1,0 +1,139 @@
+"""Microcode emission: arithmetic as replayable controller programs.
+
+Where :mod:`repro.crossbar.structural_adder` *executes* the paper's NOR
+schedules directly on a fabric, this module *emits* them as
+:class:`~repro.crossbar.controller.Command` lists — portable, diffable
+micro-programs that any :class:`MemoryController` can replay.  This is
+the bottom of the compilation story: kernel IR at the top, engine costs
+in the middle, and an actual command stream a memory controller would
+sequence at the bottom.
+
+Emitted programs use the same cell placement conventions as the direct
+executor; ``tests/test_microcode.py`` replays them and pins results and
+cycle counts against the formulas.
+"""
+
+from __future__ import annotations
+
+from repro.crossbar.controller import Command
+from repro.crossbar.structural_adder import (
+    FA_SCRATCH_CELLS,
+    FACells,
+    full_adder_schedule,
+)
+from repro.errors import CrossbarError
+
+__all__ = ["emit_serial_add", "emit_copy_shifted", "emit_full_adder_bit"]
+
+
+def emit_full_adder_bit(
+    block: int,
+    a: tuple[int, int],
+    b: tuple[int, int],
+    cin: tuple[int, int],
+    cout: tuple[int, int],
+    total: tuple[int, int],
+    scratch: list[tuple[int, int]],
+) -> list[Command]:
+    """One 1-bit full addition as 1 INIT + 12 NOR commands."""
+    if len(scratch) != FA_SCRATCH_CELLS:
+        raise CrossbarError(
+            f"full adder needs {FA_SCRATCH_CELLS} scratch cells, "
+            f"got {len(scratch)}"
+        )
+    fa = FACells(a=a, b=b, cin=cin, cout=cout, sum=total,
+                 scratch=tuple(scratch))
+    program = [Command("INIT", (block, fa.output_cells()))]
+    program.extend(
+        Command("NOR", (block, tuple(inputs), output))
+        for inputs, output in full_adder_schedule(fa)
+    )
+    return program
+
+
+def emit_serial_add(
+    block: int,
+    row_a: int,
+    row_b: int,
+    row_sum: int,
+    width: int,
+    scratch_rows: list[int],
+    start_col: int = 0,
+) -> list[Command]:
+    """An N-bit serial addition as a command program (``12N + 1`` cycles).
+
+    Layout matches :meth:`StructuralAdder.serial_add`: operands LSB-first
+    in ``row_a``/``row_b``, result (width+1 bits) in ``row_sum``, carries
+    rippling through ``scratch_rows[-1]``.  The program consists of one
+    bulk INIT (all output cells of all bit positions — the controller's
+    pre-staging, one cycle), one WR pinning the carry-in to zero, and
+    12 NORs per bit.
+    """
+    if width <= 0:
+        raise CrossbarError(f"width must be positive: {width}")
+    if start_col != 0:
+        # The WR command writes from column 0; pinning the carry-in at an
+        # offset would need a column-addressed write the command set keeps
+        # out of scope (real DMA writes whole rows).
+        raise CrossbarError("emit_serial_add supports start_col == 0 only")
+    if len(scratch_rows) < FA_SCRATCH_CELLS + 1:
+        raise CrossbarError(
+            f"need {FA_SCRATCH_CELLS + 1} scratch rows, "
+            f"got {len(scratch_rows)}"
+        )
+    carry_row = scratch_rows[FA_SCRATCH_CELLS]
+    adders = []
+    for j in range(width):
+        col = start_col + j
+        cout_cell = (
+            (row_sum, start_col + width)
+            if j == width - 1
+            else (carry_row, col + 1)
+        )
+        adders.append(
+            FACells(
+                a=(row_a, col),
+                b=(row_b, col),
+                cin=(carry_row, col),
+                cout=cout_cell,
+                sum=(row_sum, col),
+                scratch=tuple(
+                    (scratch_rows[i], col) for i in range(FA_SCRATCH_CELLS)
+                ),
+            )
+        )
+    init_cells = tuple(
+        cell for fa in adders for cell in fa.output_cells()
+    )
+    program = [
+        Command("INIT", (block, init_cells)),
+        Command("WR", (block, carry_row, 0, 1)),  # carry-in = 0 at col 0
+    ]
+    for fa in adders:
+        program.extend(
+            Command("NOR", (block, tuple(inputs), output))
+            for inputs, output in full_adder_schedule(fa)
+        )
+    return program
+
+
+def emit_copy_shifted(
+    src_block: int,
+    src_row: int,
+    dst_block: int,
+    dst_row: int,
+    width: int,
+    shift: int = 0,
+    shared: bool = False,
+) -> list[Command]:
+    """A (possibly shifted) inter-block copy as a single CPY command."""
+    if width <= 0:
+        raise CrossbarError(f"width must be positive: {width}")
+    if shift < 0:
+        raise CrossbarError(f"shift must be >= 0: {shift}")
+    return [
+        Command(
+            "CPY",
+            (src_block, src_row, dst_block, dst_row, width, shift, shared),
+        )
+    ]

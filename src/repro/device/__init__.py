@@ -1,0 +1,32 @@
+"""Memristor device substrate (S1).
+
+This subpackage models the RRAM bit cell used by APIM:
+
+- :mod:`repro.device.vteam` — the VTEAM voltage-controlled memristor model
+  (Kvatinsky et al., TCAS-II 2015), the same device model the paper uses for
+  its Virtuoso simulations, with RON = 10 kOhm and ROFF = 10 MOhm.
+- :mod:`repro.device.cell` — a logical bit cell wrapping a VTEAM device:
+  write/read semantics, pulse application with energy integration.
+"""
+
+from repro.device.vteam import VTEAMModel, VTEAMParameters, default_parameters
+from repro.device.cell import MemristorCell
+from repro.device.variation import FaultInjector, VariationModel, nor_margin
+from repro.device.endurance import (
+    EnduranceModel,
+    RotatingAllocator,
+    WearTracker,
+)
+
+__all__ = [
+    "VTEAMModel",
+    "VTEAMParameters",
+    "default_parameters",
+    "MemristorCell",
+    "VariationModel",
+    "FaultInjector",
+    "nor_margin",
+    "EnduranceModel",
+    "WearTracker",
+    "RotatingAllocator",
+]

@@ -1,0 +1,158 @@
+"""Endurance and wear modelling for the APIM crossbar.
+
+MAGIC computation writes cells constantly — every NOR output, every copy,
+every carry write-back — and RRAM endurance is finite (10^6-10^12
+switching events depending on technology).  The paper notes its fast adder
+trades "increased energy consumption and number of writes in memory" for
+latency; this module quantifies the consequence:
+
+- :class:`EnduranceModel` — lifetime estimation from a per-cell write
+  budget and a measured write rate.
+- :class:`WearTracker` — per-row write accounting over a block, with
+  hottest-row statistics.
+- :class:`RotatingAllocator` — the mitigation: a wear-levelling row
+  allocator for processing-block scratch space that rotates allocations
+  round-robin, flattening the per-row write distribution (the classic
+  start-gap-style levelling, adapted to row granularity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DeviceError
+
+__all__ = ["EnduranceModel", "WearTracker", "RotatingAllocator"]
+
+
+@dataclass(frozen=True)
+class EnduranceModel:
+    """Technology endurance figures and lifetime arithmetic.
+
+    Attributes
+    ----------
+    write_budget:
+        Switching events a cell tolerates before failure (HfOx RRAM is
+        commonly quoted at 10^6-10^10; default 1e9).
+    """
+
+    write_budget: float = 1e9
+
+    def __post_init__(self) -> None:
+        if self.write_budget <= 0:
+            raise DeviceError("write_budget must be positive")
+
+    def lifetime_seconds(self, writes_per_second: float) -> float:
+        """Time until the budget is exhausted at a constant write rate."""
+        if writes_per_second < 0:
+            raise DeviceError("write rate must be non-negative")
+        if writes_per_second == 0:
+            return float("inf")
+        return self.write_budget / writes_per_second
+
+    def lifetime_operations(self, writes_per_operation: float) -> float:
+        """Operations (e.g. multiplications) until the hottest cell dies."""
+        if writes_per_operation < 0:
+            raise DeviceError("writes per operation must be non-negative")
+        if writes_per_operation == 0:
+            return float("inf")
+        return self.write_budget / writes_per_operation
+
+
+class WearTracker:
+    """Per-row write counters for one crossbar block."""
+
+    def __init__(self, rows: int) -> None:
+        if rows <= 0:
+            raise DeviceError(f"rows must be positive: {rows}")
+        self.rows = rows
+        self._writes = np.zeros(rows, dtype=np.int64)
+
+    def record(self, row: int, writes: int = 1) -> None:
+        """Charge ``writes`` cell writes to ``row``."""
+        if not 0 <= row < self.rows:
+            raise DeviceError(f"row {row} outside [0, {self.rows})")
+        if writes < 0:
+            raise DeviceError("writes must be non-negative")
+        self._writes[row] += writes
+
+    @property
+    def total_writes(self) -> int:
+        """All writes recorded."""
+        return int(self._writes.sum())
+
+    @property
+    def hottest_row(self) -> tuple[int, int]:
+        """(row, writes) of the most-written row."""
+        row = int(np.argmax(self._writes))
+        return row, int(self._writes[row])
+
+    def imbalance(self) -> float:
+        """Hottest-row writes over the per-row mean (1.0 = perfectly flat).
+
+        This is the factor wear levelling buys back: lifetime scales with
+        ``1 / imbalance``.
+        """
+        mean = self._writes.mean()
+        if mean == 0:
+            return 1.0
+        return float(self._writes.max() / mean)
+
+    def writes_per_row(self) -> np.ndarray:
+        """Copy of the per-row counter vector."""
+        return self._writes.copy()
+
+
+class RotatingAllocator:
+    """Wear-levelling scratch-row allocator.
+
+    A drop-in alternative to the LIFO free list of
+    :class:`~repro.crossbar.structural_adder.RowPool`: allocations walk the
+    row space round-robin so scratch-heavy operations spread their writes
+    across the whole block instead of hammering the lowest-numbered rows.
+    """
+
+    def __init__(self, rows: int, reserved: tuple[int, ...] = ()) -> None:
+        if rows <= 0:
+            raise DeviceError(f"rows must be positive: {rows}")
+        self.rows = rows
+        self._eligible = [r for r in range(rows) if r not in set(reserved)]
+        if not self._eligible:
+            raise DeviceError("no allocatable rows after reservations")
+        self._free = set(self._eligible)
+        self._cursor = 0
+
+    def alloc(self, count: int = 1) -> list[int]:
+        """Take ``count`` rows, continuing from the rotation cursor."""
+        if count > len(self._free):
+            raise DeviceError(
+                f"block out of scratch rows (need {count}, "
+                f"have {len(self._free)})"
+            )
+        taken: list[int] = []
+        probes = 0
+        n = len(self._eligible)
+        while len(taken) < count:
+            row = self._eligible[self._cursor % n]
+            self._cursor += 1
+            probes += 1
+            if row in self._free:
+                self._free.discard(row)
+                taken.append(row)
+            if probes > 2 * n + count:  # pragma: no cover - defensive
+                raise DeviceError("allocator cursor failed to progress")
+        return taken
+
+    def free(self, rows: list[int]) -> None:
+        """Return rows to the pool (they re-enter at their rotation slot)."""
+        for row in rows:
+            if row not in set(self._eligible):
+                raise DeviceError(f"row {row} was never allocatable")
+            self._free.add(row)
+
+    @property
+    def available(self) -> int:
+        """Rows currently free."""
+        return len(self._free)

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the APIM reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so a
+caller embedding the simulator can catch one type.  Subclasses partition the
+failure domains: device physics, crossbar structural simulation, cost-model
+configuration, workload construction and runtime/QoS tuning.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """An :class:`~repro.core.config.APIMConfig` (or baseline config) field is
+    invalid or inconsistent (e.g. negative cycle time, k + m != 2N)."""
+
+
+class DeviceError(ReproError):
+    """Invalid memristor device operation (e.g. state out of [0, 1],
+    non-positive resistance bounds)."""
+
+
+class CrossbarError(ReproError):
+    """Structural crossbar misuse: out-of-range row/column, MAGIC operands
+    not aligned in a row/column, writing to an occupied output cell, or an
+    interconnect shift that exceeds block width."""
+
+
+class ApproximationError(ReproError):
+    """Invalid approximation setting (negative masked bits, relax bits
+    exceeding the product width, unknown mode)."""
+
+
+class WorkloadError(ReproError):
+    """Workload construction/execution failure: bad input shape, unsupported
+    bit width, or an empty dataset."""
+
+
+class QoSError(ReproError):
+    """The adaptive tuner could not satisfy the quality-of-service target at
+    any supported approximation level."""

@@ -1,0 +1,86 @@
+"""Error-distribution analysis beyond scalar QoL.
+
+A single QoL percentage hides the error's *shape*: whether approximation
+hurt a few elements catastrophically or everything a little.  The paper's
+acceptance thresholds (PSNR / mean relative error) are averages, so an
+application with hard per-element requirements needs the distribution.
+:func:`error_distribution` summarises it; :func:`worst_case_elements`
+locates the damage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = ["ErrorDistribution", "error_distribution", "worst_case_elements"]
+
+
+@dataclass(frozen=True)
+class ErrorDistribution:
+    """Summary statistics of per-element relative error."""
+
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    max: float
+    fraction_exact: float
+    fraction_above_1pct: float
+
+    def is_heavy_tailed(self, ratio: float = 10.0) -> bool:
+        """True when the p99 error dwarfs the median — damage concentrated
+        in a few elements rather than spread thin."""
+        if self.median == 0:
+            return self.p99 > 0
+        return self.p99 / self.median >= ratio
+
+
+def _relative_errors(
+    reference: np.ndarray, output: np.ndarray
+) -> np.ndarray:
+    ref = np.asarray(reference, dtype=np.float64).ravel()
+    out = np.asarray(output, dtype=np.float64).ravel()
+    if ref.shape != out.shape:
+        raise WorkloadError(
+            f"shape mismatch: {ref.shape} vs {out.shape}"
+        )
+    if ref.size == 0:
+        raise WorkloadError("cannot analyse empty outputs")
+    rms = float(np.sqrt(np.mean(ref * ref)))
+    guard = max(rms * 0.01, 1e-12)
+    return np.abs(out - ref) / np.maximum(np.abs(ref), guard)
+
+
+def error_distribution(
+    reference: np.ndarray, output: np.ndarray
+) -> ErrorDistribution:
+    """Distribution summary of per-element relative error."""
+    errors = _relative_errors(reference, output)
+    return ErrorDistribution(
+        mean=float(errors.mean()),
+        median=float(np.median(errors)),
+        p95=float(np.percentile(errors, 95)),
+        p99=float(np.percentile(errors, 99)),
+        max=float(errors.max()),
+        fraction_exact=float(np.mean(errors == 0.0)),
+        fraction_above_1pct=float(np.mean(errors > 0.01)),
+    )
+
+
+def worst_case_elements(
+    reference: np.ndarray,
+    output: np.ndarray,
+    count: int = 10,
+) -> list[tuple[int, float]]:
+    """The ``count`` flat indices with the largest relative error,
+    worst first, as ``(index, relative_error)`` pairs."""
+    if count <= 0:
+        raise WorkloadError(f"count must be positive: {count}")
+    errors = _relative_errors(reference, output)
+    count = min(count, errors.size)
+    worst = np.argsort(errors)[::-1][:count]
+    return [(int(i), float(errors[i])) for i in worst]

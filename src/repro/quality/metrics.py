@@ -1,0 +1,97 @@
+"""Accuracy metrics used by the paper's evaluation framework.
+
+The paper (Section 4.1): "our framework compares the approximate output
+file of each application with the golden output from calculating exactly.
+For image processing applications, we accept 30 dB peak signal-to-noise
+ratio as an accuracy metric.  For other applications, the acceptable
+accuracy is defined by having less than 10 % average relative error."
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = [
+    "psnr",
+    "average_relative_error",
+    "normalized_rmse",
+    "quality_loss_percent",
+]
+
+
+def _as_float_pair(
+    reference: np.ndarray, output: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    ref = np.asarray(reference, dtype=np.float64)
+    out = np.asarray(output, dtype=np.float64)
+    if ref.shape != out.shape:
+        raise WorkloadError(
+            f"shape mismatch: reference {ref.shape} vs output {out.shape}"
+        )
+    if ref.size == 0:
+        raise WorkloadError("cannot score empty outputs")
+    return ref, out
+
+
+def psnr(reference: np.ndarray, output: np.ndarray, peak: float | None = None) -> float:
+    """Peak signal-to-noise ratio in dB (infinite for identical outputs).
+
+    ``peak`` defaults to the reference's dynamic range, the convention for
+    non-8-bit imagery.
+    """
+    ref, out = _as_float_pair(reference, output)
+    mse = float(np.mean((ref - out) ** 2))
+    if peak is None:
+        peak = float(ref.max() - ref.min()) or 1.0
+    if peak <= 0:
+        raise WorkloadError(f"peak must be positive, got {peak}")
+    if mse == 0:
+        return math.inf
+    return 10.0 * math.log10(peak * peak / mse)
+
+
+def average_relative_error(
+    reference: np.ndarray, output: np.ndarray, epsilon: float | None = None
+) -> float:
+    """Mean of ``|out - ref| / max(|ref|, epsilon)``, as a fraction.
+
+    ``epsilon`` guards near-zero reference values; it defaults to 1 % of
+    the reference's RMS magnitude, so sparse outputs (edge maps, transform
+    tails) do not blow the average up on numerically-empty samples.
+    """
+    ref, out = _as_float_pair(reference, output)
+    if epsilon is None:
+        rms = float(np.sqrt(np.mean(ref * ref)))
+        epsilon = max(rms * 0.01, 1e-12)
+    if epsilon <= 0:
+        raise WorkloadError(f"epsilon must be positive, got {epsilon}")
+    denom = np.maximum(np.abs(ref), epsilon)
+    return float(np.mean(np.abs(out - ref) / denom))
+
+
+def normalized_rmse(reference: np.ndarray, output: np.ndarray) -> float:
+    """RMS error normalised by the reference RMS magnitude (fraction)."""
+    ref, out = _as_float_pair(reference, output)
+    rms_ref = float(np.sqrt(np.mean(ref * ref)))
+    if rms_ref == 0:
+        rms_ref = 1.0
+    return float(np.sqrt(np.mean((out - ref) ** 2))) / rms_ref
+
+
+def quality_loss_percent(
+    reference: np.ndarray, output: np.ndarray, kind: str
+) -> float:
+    """Table-1-style "Quality of Loss" percentage.
+
+    ``kind`` is ``"image"`` (normalised RMSE — the error measure PSNR is a
+    log of) or ``"signal"`` (average relative error).
+    """
+    if kind == "image":
+        return 100.0 * normalized_rmse(reference, output)
+    if kind == "signal":
+        return 100.0 * average_relative_error(reference, output)
+    raise WorkloadError(f"unknown workload kind {kind!r}")

@@ -1,0 +1,30 @@
+"""Runtime layer (S17-S19): running workloads on APIM and comparing to GPU.
+
+- :mod:`repro.runtime.executor` — run one workload on one engine
+  configuration, score quality, roll up latency/energy/EDP.
+- :mod:`repro.runtime.comparison` — APIM-vs-GPU at a dataset size
+  (tile-measured APIM cost extrapolated; analytic GPU baseline).
+- :mod:`repro.runtime.tuner` — the paper's adaptive accuracy controller
+  (start at 32 relax bits, back off in 4-bit steps until QoS holds).
+"""
+
+from repro.runtime.campaign import CampaignPoint, CampaignResult, run_campaign
+from repro.runtime.executor import APIMExecutor, ExecutionResult
+from repro.runtime.comparison import ComparisonHarness, ComparisonResult
+from repro.runtime.power import PowerAnalysis, PowerReport
+from repro.runtime.tuner import AdaptiveTuner, TuningResult, TuningTrial
+
+__all__ = [
+    "APIMExecutor",
+    "ExecutionResult",
+    "ComparisonHarness",
+    "ComparisonResult",
+    "AdaptiveTuner",
+    "TuningResult",
+    "TuningTrial",
+    "PowerAnalysis",
+    "PowerReport",
+    "run_campaign",
+    "CampaignResult",
+    "CampaignPoint",
+]

@@ -1,0 +1,117 @@
+"""Experiment campaigns: grids of (workload x approximation) runs.
+
+The benches regenerate the paper's fixed artifacts; a *campaign* is the
+general tool — sweep any workload set against any relax-bit ladder at any
+dataset size, collect quality/cost/comparison metrics per point, and
+export the grid for plotting.  Used by the CLI's ``campaign`` command and
+by downstream studies that outgrow Table 1's exact shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.approximation import EXACT, ApproxSpec
+from repro.core.config import APIMConfig
+from repro.errors import ConfigurationError
+from repro.runtime.comparison import ComparisonHarness
+from repro.units import GIB
+from repro.workloads import workload_by_name
+from repro.workloads.base import Workload
+
+__all__ = ["CampaignPoint", "CampaignResult", "run_campaign"]
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One (workload, relax-bits, dataset-size) measurement."""
+
+    workload: str
+    relax_bits: int
+    dataset_bytes: int
+    qol_percent: float
+    qos_ok: bool
+    speedup: float
+    energy_improvement: float
+    edp_improvement: float
+    apim_time_s: float
+    apim_energy_j: float
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """A complete campaign grid."""
+
+    points: tuple[CampaignPoint, ...]
+
+    def best_within_qos(self, workload: str) -> CampaignPoint:
+        """The highest-EDP-improvement point of a workload that meets QoS."""
+        eligible = [
+            p for p in self.points if p.workload == workload and p.qos_ok
+        ]
+        if not eligible:
+            raise ConfigurationError(
+                f"no QoS-meeting campaign point for {workload!r}"
+            )
+        return max(eligible, key=lambda p: p.edp_improvement)
+
+    def to_rows(self) -> tuple[list[str], list[list]]:
+        """Flat table for :func:`repro.analysis.export.to_csv`/``to_json``."""
+        header = [
+            "workload", "relax_bits", "dataset_bytes", "qol_percent",
+            "qos_ok", "speedup", "energy_improvement", "edp_improvement",
+            "apim_time_s", "apim_energy_J",
+        ]
+        rows = [
+            [p.workload, p.relax_bits, p.dataset_bytes, p.qol_percent,
+             p.qos_ok, p.speedup, p.energy_improvement, p.edp_improvement,
+             p.apim_time_s, p.apim_energy_j]
+            for p in self.points
+        ]
+        return header, rows
+
+    def to_csv(self) -> str:
+        """The grid as CSV text."""
+        from repro.analysis.export import to_csv  # deferred: avoids a cycle
+
+        return to_csv(self.to_rows())
+
+
+def run_campaign(
+    workloads: list[Workload | str],
+    relax_levels: list[int],
+    dataset_bytes: float = GIB,
+    config: APIMConfig | None = None,
+    tile_elements: int = 1 << 12,
+) -> CampaignResult:
+    """Run the full (workload x relax-bits) grid at one dataset size."""
+    if not workloads:
+        raise ConfigurationError("campaign needs at least one workload")
+    if not relax_levels:
+        raise ConfigurationError("campaign needs at least one relax level")
+    if any(level < 0 for level in relax_levels):
+        raise ConfigurationError("relax levels must be non-negative")
+    resolved = [
+        workload_by_name(w) if isinstance(w, str) else w for w in workloads
+    ]
+    harness = ComparisonHarness(config=config, tile_elements=tile_elements)
+    points = []
+    for workload in resolved:
+        for level in relax_levels:
+            spec = ApproxSpec.last_stage(level) if level else EXACT
+            comparison = harness.compare(workload, dataset_bytes, spec)
+            points.append(
+                CampaignPoint(
+                    workload=workload.name,
+                    relax_bits=level,
+                    dataset_bytes=int(dataset_bytes),
+                    qol_percent=comparison.qol_percent,
+                    qos_ok=comparison.qos_ok,
+                    speedup=comparison.speedup,
+                    energy_improvement=comparison.energy_improvement,
+                    edp_improvement=comparison.edp_improvement,
+                    apim_time_s=comparison.apim_time,
+                    apim_energy_j=comparison.apim_energy,
+                )
+            )
+    return CampaignResult(points=tuple(points))

@@ -1,0 +1,138 @@
+"""APIM-vs-GPU comparison at arbitrary dataset sizes (paper Section 4.2).
+
+The paper sweeps dataset sizes up to 1 GB.  APIM's per-element cost is
+constant (the dataset is resident; computation is local to each block
+pair), so the harness measures APIM on a tile and extrapolates the cost
+counters linearly — with a pass correction for workloads whose sweep count
+depends on the dataset size (FFT's ``log2 n``).  The GPU side comes from
+the analytic model fed by the trace-driven cache simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.gpu import GPUEstimate, GPUModel
+from repro.core.approximation import EXACT, ApproxSpec
+from repro.core.config import APIMConfig, default_config
+from repro.errors import ConfigurationError
+from repro.runtime.executor import APIMExecutor, ExecutionResult
+
+__all__ = ["ComparisonHarness", "ComparisonResult"]
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """APIM vs GPU at one (workload, dataset size, approximation) point."""
+
+    workload: str
+    dataset_bytes: int
+    spec: ApproxSpec
+    apim_time: float
+    apim_energy: float
+    gpu_time: float
+    gpu_energy: float
+    qol_percent: float
+    qos_ok: bool
+
+    @property
+    def speedup(self) -> float:
+        """GPU time / APIM time (>1 means APIM is faster)."""
+        return self.gpu_time / self.apim_time
+
+    @property
+    def energy_improvement(self) -> float:
+        """GPU energy / APIM energy."""
+        return self.gpu_energy / self.apim_energy
+
+    @property
+    def edp_improvement(self) -> float:
+        """GPU EDP / APIM EDP — the paper's headline metric."""
+        return (self.gpu_energy * self.gpu_time) / (
+            self.apim_energy * self.apim_time
+        )
+
+
+class ComparisonHarness:
+    """Prices workloads on APIM and the GPU baseline at any dataset size."""
+
+    def __init__(
+        self,
+        config: APIMConfig | None = None,
+        gpu: GPUModel | None = None,
+        tile_elements: int = 1 << 14,
+        rng_seed: int = 2017,
+    ) -> None:
+        if tile_elements <= 0:
+            raise ConfigurationError("tile_elements must be positive")
+        self.config = config or default_config()
+        self.gpu = gpu or GPUModel()
+        self.executor = APIMExecutor(self.config)
+        self.tile_elements = tile_elements
+        self.rng_seed = rng_seed
+        self._tile_cache: dict[tuple[str, ApproxSpec], ExecutionResult] = {}
+
+    # -- APIM side ----------------------------------------------------------
+
+    def _tile_result(self, workload, spec: ApproxSpec) -> ExecutionResult:
+        key = (workload.name, spec)
+        if key not in self._tile_cache:
+            self._tile_cache[key] = self.executor.run(
+                workload,
+                spec=spec,
+                elements=self.tile_elements,
+                rng=np.random.default_rng(self.rng_seed),
+            )
+        return self._tile_cache[key]
+
+    def apim_estimate(
+        self, workload, dataset_bytes: float, spec: ApproxSpec = EXACT
+    ) -> tuple[float, float, ExecutionResult]:
+        """(time, energy, tile result) of APIM at a dataset size.
+
+        Cost counters measured on the tile scale by element count and by
+        the pass-count ratio (FFT does more sweeps over bigger datasets);
+        time additionally divides by the larger lane allocation of the
+        resident dataset.
+        """
+        tile = self._tile_result(workload, spec)
+        profile = workload.profile()
+        elements = profile.elements(dataset_bytes)
+        pass_ratio = profile.passes(elements) / profile.passes(tile.elements)
+        scale = (elements / tile.elements) * pass_ratio
+        cost = tile.cost.scaled(scale)
+        lanes = self.config.parallel_lanes(dataset_bytes)
+        blocks = self.config.blocks_for(dataset_bytes)
+        time = cost.time(self.config, lanes)
+        energy = cost.energy(self.config, lanes, active_blocks=blocks)
+        return time, energy, tile
+
+    # -- comparison ---------------------------------------------------------
+
+    def compare(
+        self, workload, dataset_bytes: float, spec: ApproxSpec = EXACT
+    ) -> ComparisonResult:
+        """Full APIM-vs-GPU comparison at one point."""
+        apim_time, apim_energy, tile = self.apim_estimate(
+            workload, dataset_bytes, spec
+        )
+        gpu: GPUEstimate = self.gpu.estimate(workload.profile(), dataset_bytes)
+        return ComparisonResult(
+            workload=workload.name,
+            dataset_bytes=int(dataset_bytes),
+            spec=spec,
+            apim_time=apim_time,
+            apim_energy=apim_energy,
+            gpu_time=gpu.time,
+            gpu_energy=gpu.energy,
+            qol_percent=tile.qol_percent,
+            qos_ok=tile.qos_ok,
+        )
+
+    def sweep_sizes(
+        self, workload, sizes: list[float], spec: ApproxSpec = EXACT
+    ) -> list[ComparisonResult]:
+        """The Figure 5 sweep: one comparison per dataset size."""
+        return [self.compare(workload, size, spec) for size in sizes]

@@ -1,0 +1,119 @@
+"""Workload execution on APIM with quality scoring and cost roll-up.
+
+The executor owns the common experiment loop: generate an input, run the
+kernel through an engine at some approximation setting, score the result
+against the golden reference, and convert the engine's accumulated
+:class:`~repro.core.cost.Cost` into wall-clock time, energy and EDP under
+the machine's SIMD lane model (see
+:meth:`~repro.core.config.APIMConfig.parallel_lanes`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.approximation import EXACT, ApproxSpec
+from repro.core.config import APIMConfig, default_config
+from repro.core.cost import Cost
+from repro.core.engine import APIMEngine
+from repro.errors import WorkloadError
+from repro.quality.metrics import quality_loss_percent
+from repro.quality.qos import QoSPolicy
+from repro.workloads.base import Workload, WorkloadData
+
+__all__ = ["APIMExecutor", "ExecutionResult"]
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of one workload execution on APIM.
+
+    Time/energy/EDP are for the *executed tile* (``elements`` elements
+    resident, all lanes of that allocation active); the comparison harness
+    extrapolates to full dataset sizes.
+    """
+
+    workload: str
+    spec: ApproxSpec
+    elements: int
+    dataset_bytes: int
+    output: np.ndarray
+    reference: np.ndarray
+    qol_percent: float
+    qos_ok: bool
+    qos_score: float
+    cost: Cost
+    mul_count: int
+    add_count: int
+    time: float
+    energy: float
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product in joule-seconds."""
+        return self.energy * self.time
+
+
+class APIMExecutor:
+    """Runs workloads on APIM engines and scores them."""
+
+    def __init__(
+        self,
+        config: APIMConfig | None = None,
+        qos: QoSPolicy | None = None,
+    ) -> None:
+        self.config = config or default_config()
+        self.qos = qos or QoSPolicy()
+
+    def run(
+        self,
+        workload: Workload,
+        spec: ApproxSpec = EXACT,
+        elements: int | None = None,
+        rng: np.random.Generator | None = None,
+        data: WorkloadData | None = None,
+    ) -> ExecutionResult:
+        """Execute ``workload`` at approximation ``spec``.
+
+        Either pass pre-generated ``data`` (so several specs score against
+        identical inputs, as the tuner does) or let the executor generate
+        ``elements`` elements with ``rng``.
+        """
+        if data is None:
+            elements = elements or workload.default_elements
+            rng = rng or np.random.default_rng(2017)
+            data = workload.generate(elements, rng)
+        engine = APIMEngine(self.config, spec)
+        output = workload.run(engine, data)
+        reference = workload.reference(data)
+        if np.asarray(output).shape != np.asarray(reference).shape:
+            raise WorkloadError(
+                f"{workload.name}: output shape {np.asarray(output).shape} "
+                f"!= reference {np.asarray(reference).shape}"
+            )
+        qol = quality_loss_percent(reference, output, workload.kind)
+        score = self.qos.score(reference, output, workload.kind)
+        qos_ok = self.qos.accepts(reference, output, workload.kind)
+
+        dataset_bytes = data.elements * workload.element_bytes
+        lanes = self.config.parallel_lanes(dataset_bytes)
+        blocks = self.config.blocks_for(dataset_bytes)
+        cost = engine.total_cost
+        return ExecutionResult(
+            workload=workload.name,
+            spec=spec,
+            elements=data.elements,
+            dataset_bytes=dataset_bytes,
+            output=output,
+            reference=reference,
+            qol_percent=qol,
+            qos_ok=qos_ok,
+            qos_score=score,
+            cost=cost,
+            mul_count=engine.mul_count,
+            add_count=engine.add_count,
+            time=cost.time(self.config, lanes),
+            energy=cost.energy(self.config, lanes, active_blocks=blocks),
+        )

@@ -1,0 +1,143 @@
+"""Power analysis of APIM executions.
+
+Energy totals answer "how much"; deployments also ask "how fast does it
+drain" — peak draw sizes the power delivery network and thermal envelope
+of a DIMM-form-factor accelerator.  This module turns an engine's cost
+ledger into:
+
+- per-phase average power (multiply / add / interconnect phases);
+- the machine's peak concurrent power (all lanes active);
+- a power-envelope check against a configurable budget (DIMM sockets are
+  specified around 15 W).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import APIMConfig, default_config
+from repro.core.cost import Cost, CostLedger
+from repro.errors import ConfigurationError
+
+__all__ = ["PowerAnalysis", "PhasePower", "PowerReport"]
+
+#: DIMM-socket power budget in watts (JEDEC-ish envelope).
+DEFAULT_BUDGET_W = 15.0
+
+
+@dataclass(frozen=True)
+class PhasePower:
+    """Average power of one ledger phase."""
+
+    phase: str
+    energy: float
+    time: float
+
+    @property
+    def watts(self) -> float:
+        """Average power over the phase (0 for zero-duration phases)."""
+        return self.energy / self.time if self.time > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Machine-level power summary of one execution."""
+
+    phases: tuple[PhasePower, ...]
+    average_watts: float
+    peak_watts: float
+    budget_watts: float
+
+    @property
+    def within_budget(self) -> bool:
+        """True when the peak stays under the socket budget."""
+        return self.peak_watts <= self.budget_watts
+
+    def phase(self, name: str) -> PhasePower:
+        """Fetch one phase by ledger label."""
+        for item in self.phases:
+            if item.phase == name:
+                return item
+        raise ConfigurationError(f"phase {name!r} not in the report")
+
+
+class PowerAnalysis:
+    """Derives power figures from cost ledgers.
+
+    Parameters
+    ----------
+    config:
+        Machine constants.
+    budget_watts:
+        Socket power envelope for :attr:`PowerReport.within_budget`.
+    """
+
+    def __init__(
+        self,
+        config: APIMConfig | None = None,
+        budget_watts: float = DEFAULT_BUDGET_W,
+    ) -> None:
+        if budget_watts <= 0:
+            raise ConfigurationError("budget must be positive")
+        self.config = config or default_config()
+        self.budget_watts = budget_watts
+
+    def lane_power(self) -> float:
+        """Sustained power of ONE active lane.
+
+        One lane executes one MAGIC cycle per cycle time; the energy of a
+        lane-cycle is the peripheral constant plus the lane's average
+        dynamic (NOR) activity — conservatively one full row of NOR
+        firings per cycle.
+        """
+        cfg = self.config
+        per_cycle = cfg.e_peripheral + cfg.e_nor * cfg.word_bits * 2
+        return per_cycle / cfg.cycle_time
+
+    def peak_power(self, dataset_bytes: float) -> float:
+        """All-lanes-active power for a resident dataset."""
+        lanes = self.config.parallel_lanes(dataset_bytes)
+        blocks = self.config.blocks_for(dataset_bytes)
+        static = blocks * self.config.p_static_per_block
+        return lanes * self.lane_power() + static
+
+    def report(
+        self,
+        ledger: CostLedger,
+        dataset_bytes: float,
+        lanes: int | None = None,
+    ) -> PowerReport:
+        """Power summary of an executed workload's ledger."""
+        if dataset_bytes <= 0:
+            raise ConfigurationError("dataset size must be positive")
+        cfg = self.config
+        lanes = lanes or cfg.parallel_lanes(dataset_bytes)
+        blocks = cfg.blocks_for(dataset_bytes)
+        phases = []
+        for label in ledger.labels():
+            cost: Cost = ledger.entry(label)
+            time = cost.time(cfg, lanes)
+            energy = cost.energy(cfg, lanes, active_blocks=blocks)
+            phases.append(PhasePower(phase=label, energy=energy, time=time))
+        total = ledger.total
+        total_time = total.time(cfg, lanes)
+        total_energy = total.energy(cfg, lanes, active_blocks=blocks)
+        return PowerReport(
+            phases=tuple(phases),
+            average_watts=total_energy / total_time if total_time else 0.0,
+            peak_watts=self.peak_power(dataset_bytes),
+            budget_watts=self.budget_watts,
+        )
+
+    def max_lanes_within_budget(self, dataset_bytes: float) -> int:
+        """Largest lane count whose peak stays in the socket envelope.
+
+        The knob a power-capped deployment turns: throttle lanes (spend
+        latency) to fit the budget.
+        """
+        blocks = self.config.blocks_for(dataset_bytes)
+        static = blocks * self.config.p_static_per_block
+        headroom = self.budget_watts - static
+        if headroom <= 0:
+            return 0
+        return max(0, int(headroom / self.lane_power()))

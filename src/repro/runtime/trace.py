@@ -1,0 +1,138 @@
+"""Execution-trace export: schedules and ledgers as Chrome trace events.
+
+``chrome://tracing`` / Perfetto's JSON event format is the lingua franca
+of timeline visualisation; this module serialises
+
+- a compiler :class:`~repro.compiler.scheduler.Schedule` (one track per
+  lane, one slice per scheduled node), and
+- an engine :class:`~repro.core.cost.CostLedger` (one slice per phase),
+
+so simulator runs can be inspected in any trace viewer.  Timestamps are
+in microseconds of simulated time (cycles x cycle time), as the format
+expects.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.compiler.ir import Kernel
+from repro.compiler.scheduler import Schedule
+from repro.core.config import APIMConfig, default_config
+from repro.core.cost import CostLedger
+from repro.errors import ConfigurationError
+
+__all__ = ["schedule_to_chrome_trace", "ledger_to_chrome_trace"]
+
+
+def _cycles_to_us(cycles: float, config: APIMConfig) -> float:
+    return cycles * config.cycle_time * 1e6
+
+
+def schedule_to_chrome_trace(
+    schedule: Schedule,
+    kernel: Kernel,
+    config: APIMConfig | None = None,
+) -> str:
+    """Serialise a lane schedule as a Chrome trace JSON string.
+
+    Lanes become threads of one process; free (zero-duration) nodes are
+    emitted as instant events so data movement stays visible.
+    """
+    config = config or default_config()
+    if schedule.kernel != kernel.name:
+        raise ConfigurationError(
+            f"schedule is for {schedule.kernel!r}, kernel is {kernel.name!r}"
+        )
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": f"APIM kernel {kernel.name!r}"},
+        }
+    ]
+    for lane in range(schedule.lanes):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": lane,
+                "args": {"name": f"lane {lane}"},
+            }
+        )
+    for placement in schedule.placements:
+        node = kernel.node(placement.node_id)
+        label = f"{node.kind.value}#{node.id}"
+        if placement.end > placement.start:
+            events.append(
+                {
+                    "name": label,
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": placement.lane,
+                    "ts": _cycles_to_us(placement.start, config),
+                    "dur": _cycles_to_us(
+                        placement.end - placement.start, config
+                    ),
+                    "args": {"operands": list(node.operands)},
+                }
+            )
+        else:
+            events.append(
+                {
+                    "name": label,
+                    "ph": "i",
+                    "pid": 1,
+                    "tid": max(placement.lane, 0),
+                    "ts": _cycles_to_us(placement.start, config),
+                    "s": "t",
+                }
+            )
+    return json.dumps({"traceEvents": events, "displayTimeUnit": "ns"})
+
+
+def ledger_to_chrome_trace(
+    ledger: CostLedger,
+    config: APIMConfig | None = None,
+    lanes: int = 1,
+) -> str:
+    """Serialise a cost ledger as sequential phase slices.
+
+    Ledger entries carry no start times (they are aggregates), so phases
+    are laid end to end in insertion order — the right picture for the
+    engine's sequential charge pattern.
+    """
+    config = config or default_config()
+    if lanes <= 0:
+        raise ConfigurationError(f"lanes must be positive: {lanes}")
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": "APIM execution phases"},
+        }
+    ]
+    cursor = 0.0
+    for label in ledger.labels():
+        cost = ledger.entry(label)
+        duration = _cycles_to_us(cost.cycles / lanes, config)
+        events.append(
+            {
+                "name": label,
+                "ph": "X",
+                "pid": 1,
+                "tid": 0,
+                "ts": cursor,
+                "dur": duration,
+                "args": {
+                    "cycles": cost.cycles,
+                    "nor_ops": cost.nor_ops,
+                    "energy_J": cost.energy(config, lanes),
+                },
+            }
+        )
+        cursor += duration
+    return json.dumps({"traceEvents": events, "displayTimeUnit": "ns"})

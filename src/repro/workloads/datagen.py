@@ -1,0 +1,88 @@
+"""Shared synthetic-input generators for the non-image workloads.
+
+The paper: "for non-image processing applications inputs are generated
+randomly".  These helpers centralise the generators the signal workloads
+(and user notebooks) draw from, each returning plain integer arrays ready
+for fixed-point scaling:
+
+- :func:`uniform_samples` — 8-bit uniform random samples (FFT inputs);
+- :func:`smooth_noisy_signal` — a band-limited base plus sensor noise
+  (DWT inputs: wavelets exist for piecewise-smooth data);
+- :func:`halton_indices` — sequence indices with a random offset
+  (quasi-random generator inputs);
+- :func:`power_of_two_length` — the length convention the transform
+  kernels require.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = [
+    "power_of_two_length",
+    "uniform_samples",
+    "smooth_noisy_signal",
+    "halton_indices",
+]
+
+
+def power_of_two_length(elements: int, minimum_log2: int = 3) -> int:
+    """The smallest power of two >= ``elements`` (and >= 2^minimum_log2)."""
+    if elements <= 0:
+        raise WorkloadError(f"element count must be positive: {elements}")
+    if minimum_log2 < 0:
+        raise WorkloadError("minimum_log2 must be non-negative")
+    return 1 << max(minimum_log2, (elements - 1).bit_length())
+
+
+def uniform_samples(
+    n: int, rng: np.random.Generator, bits: int = 8
+) -> np.ndarray:
+    """``n`` uniform unsigned samples of ``bits`` bits, as int64."""
+    if n <= 0:
+        raise WorkloadError(f"sample count must be positive: {n}")
+    if not 1 <= bits <= 32:
+        raise WorkloadError(f"bits {bits} outside [1, 32]")
+    return rng.integers(0, 1 << bits, n).astype(np.int64)
+
+
+def smooth_noisy_signal(
+    n: int,
+    rng: np.random.Generator,
+    periods: float = 4.0,
+    amplitude: float = 100.0,
+    noise_sigma: float = 12.0,
+    peak: int = 255,
+) -> np.ndarray:
+    """A sinusoidal base with Gaussian sensor noise, clipped to [0, peak].
+
+    The piecewise-smooth statistics wavelet transforms are designed for;
+    returned as int64 sample values.
+    """
+    if n <= 0:
+        raise WorkloadError(f"sample count must be positive: {n}")
+    if amplitude <= 0 or peak <= 0:
+        raise WorkloadError("amplitude and peak must be positive")
+    t = np.linspace(0.0, 2.0 * np.pi * periods, n)
+    base = (np.sin(t) + 1.0) * amplitude
+    noisy = base + rng.normal(0.0, noise_sigma, n)
+    return np.clip(noisy, 0, peak).astype(np.int64)
+
+
+def halton_indices(
+    n: int, rng: np.random.Generator, max_offset: int = 1 << 16
+) -> np.ndarray:
+    """Sequence indices ``offset .. offset + n`` with a random start.
+
+    Low-discrepancy generators are evaluated from arbitrary stream
+    positions; randomising the offset keeps QoL runs from always probing
+    the (atypically regular) head of the sequence.
+    """
+    if n <= 0:
+        raise WorkloadError(f"index count must be positive: {n}")
+    if max_offset < 1:
+        raise WorkloadError("max_offset must be at least 1")
+    start = int(rng.integers(1, max_offset + 1))
+    return np.arange(start, start + n, dtype=np.int64)

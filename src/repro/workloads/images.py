@@ -1,0 +1,91 @@
+"""Synthetic natural-image generator (Caltech-101 substitute).
+
+The paper draws test images from the Caltech-101 library, which is not
+redistributable here.  QoL metrics (PSNR, relative error) depend on image
+*statistics* rather than semantics, so we synthesise images that match the
+relevant statistics of natural photographs:
+
+- a ``1/f`` amplitude spectrum (the hallmark of natural-image statistics),
+  realised by shaping white noise in the frequency domain;
+- piecewise-smooth objects (random ellipses) that create the strong edges
+  edge-detection kernels exist for;
+- fine-grain texture noise.
+
+Images are 8-bit grayscale, like the luminance channel the OpenCL kernels
+process.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = ["synthetic_image", "image_shape_for"]
+
+
+def image_shape_for(elements: int) -> tuple[int, int]:
+    """Nearly-square (rows, cols) with ``rows * cols >= elements``."""
+    if elements <= 0:
+        raise WorkloadError(f"element count must be positive: {elements}")
+    side = int(np.ceil(np.sqrt(elements)))
+    rows = side
+    cols = int(np.ceil(elements / side))
+    return rows, max(cols, 1)
+
+
+def _pink_noise(shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
+    """White noise shaped to a 1/f amplitude spectrum, zero-mean, unit-ish."""
+    rows, cols = shape
+    noise = rng.standard_normal(shape)
+    spectrum = np.fft.rfft2(noise)
+    fy = np.fft.fftfreq(rows)[:, None]
+    fx = np.fft.rfftfreq(cols)[None, :]
+    radius = np.sqrt(fy * fy + fx * fx)
+    radius[0, 0] = 1.0  # keep DC finite
+    shaped = spectrum / radius
+    image = np.fft.irfft2(shaped, s=shape)
+    std = image.std() or 1.0
+    return image / std
+
+
+def _add_objects(
+    image: np.ndarray, rng: np.random.Generator, count: int
+) -> None:
+    """Stamp random ellipses of random brightness (strong edges)."""
+    rows, cols = image.shape
+    yy, xx = np.mgrid[0:rows, 0:cols]
+    for _ in range(count):
+        cy, cx = rng.integers(0, rows), rng.integers(0, cols)
+        ry = rng.integers(max(2, rows // 16), max(3, rows // 4))
+        rx = rng.integers(max(2, cols // 16), max(3, cols // 4))
+        level = rng.uniform(-2.0, 2.0)
+        mask = ((yy - cy) / ry) ** 2 + ((xx - cx) / rx) ** 2 <= 1.0
+        image[mask] += level
+
+
+def synthetic_image(
+    shape: tuple[int, int], rng: np.random.Generator, objects: int = 6
+) -> np.ndarray:
+    """An 8-bit grayscale image with natural-image statistics.
+
+    Parameters
+    ----------
+    shape:
+        (rows, cols); both must be at least 8.
+    rng:
+        Source of randomness (pass a seeded generator for reproducibility).
+    objects:
+        Number of ellipse objects stamped onto the 1/f base.
+    """
+    rows, cols = shape
+    if rows < 8 or cols < 8:
+        raise WorkloadError(f"image shape {shape} too small (min 8x8)")
+    base = _pink_noise(shape, rng)
+    _add_objects(base, rng, objects)
+    base += 0.15 * rng.standard_normal(shape)  # sensor-grain texture
+    lo, hi = np.percentile(base, [1, 99])
+    if hi <= lo:
+        hi = lo + 1.0
+    scaled = np.clip((base - lo) / (hi - lo), 0.0, 1.0)
+    return (scaled * 255.0).astype(np.uint8)

@@ -1,0 +1,84 @@
+"""Shared machinery for the image-stencil workloads (Sobel/Robert/Sharpen).
+
+``convolve2d`` routes a small convolution through the APIM engine the way
+compiled OpenCL float kernels land on an integer PIM datapath: coefficients
+are quantised to Q-format (``coeff * 2**COEFF_BITS``), one engine
+multiplication runs per non-zero tap, partial products are reduced by the
+fast adder *at product scale*, and the caller rescales once at the end.
+
+Working at product scale matters for the approximation study: live values
+occupy well over 32 bits, so relaxing up to 32 product LSBs degrades
+quality gracefully (the regime the paper's Table 1 sweeps) instead of
+corrupting bits above the data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engine import APIMEngine
+from repro.errors import WorkloadError
+
+__all__ = ["convolve2d", "convolve2d_exact", "ACC_WIDTH", "COEFF_BITS"]
+
+#: Accumulator width for stencil sums at product scale.
+ACC_WIDTH = 52
+
+#: Q-format fraction bits of stencil coefficients.
+COEFF_BITS = 14
+
+
+def _check_image(image: np.ndarray) -> np.ndarray:
+    array = np.asarray(image, dtype=np.int64)
+    if array.ndim != 2:
+        raise WorkloadError(f"expected a 2-D image, got shape {array.shape}")
+    if array.shape[0] < 2 or array.shape[1] < 2:
+        raise WorkloadError(f"image {array.shape} too small for a stencil")
+    return array
+
+
+def _padded_views(
+    image: np.ndarray, kernel: np.ndarray
+) -> list[tuple[int, np.ndarray]]:
+    """(Q-scaled coefficient, shifted view) pairs for non-zero taps."""
+    kh, kw = kernel.shape
+    pad_y, pad_x = kh // 2, kw // 2
+    padded = np.pad(
+        image, ((pad_y, kh - 1 - pad_y), (pad_x, kw - 1 - pad_x)), mode="edge"
+    )
+    h, w = image.shape
+    taps = []
+    for dy in range(kh):
+        for dx in range(kw):
+            coeff = int(kernel[dy, dx])
+            if coeff:
+                taps.append((coeff << COEFF_BITS, padded[dy : dy + h, dx : dx + w]))
+    if not taps:
+        raise WorkloadError("kernel has no non-zero taps")
+    return taps
+
+
+def convolve2d(
+    engine: APIMEngine, image: np.ndarray, kernel: np.ndarray
+) -> np.ndarray:
+    """2-D convolution through the engine; returns the *product-scale* sum
+    (caller shifts right by :data:`COEFF_BITS` after any further combining).
+    """
+    array = _check_image(image)
+    kernel = np.asarray(kernel, dtype=np.int64)
+    terms = [
+        engine.mul(view, coeff) for coeff, view in _padded_views(array, kernel)
+    ]
+    if len(terms) == 1:
+        return terms[0]
+    return engine.sum_many(terms, width=ACC_WIDTH)
+
+
+def convolve2d_exact(image: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """Golden exact counterpart of :func:`convolve2d` (same product scale)."""
+    array = _check_image(image)
+    kernel = np.asarray(kernel, dtype=np.int64)
+    out = np.zeros_like(array)
+    for coeff, view in _padded_views(array, kernel):
+        out = out + coeff * view
+    return out

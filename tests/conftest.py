@@ -1,0 +1,47 @@
+"""Shared fixtures for the APIM reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import APIMConfig, default_config
+from repro.core.engine import APIMEngine
+from repro.core.multiplier import APIMMultiplier
+from repro.device.vteam import VTEAMModel
+
+
+@pytest.fixture
+def config() -> APIMConfig:
+    """The paper's default configuration."""
+    return default_config()
+
+
+@pytest.fixture
+def config8() -> APIMConfig:
+    """An 8-bit-word configuration for fast exhaustive-ish tests."""
+    return APIMConfig(word_bits=8)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic randomness for reproducible tests."""
+    return np.random.default_rng(20170618)
+
+
+@pytest.fixture
+def engine(config) -> APIMEngine:
+    """An exact-mode engine at the default configuration."""
+    return APIMEngine(config)
+
+
+@pytest.fixture
+def multiplier8(config8) -> APIMMultiplier:
+    """An 8-bit functional multiplier."""
+    return APIMMultiplier(config8)
+
+
+@pytest.fixture
+def vteam() -> VTEAMModel:
+    """The default VTEAM device model."""
+    return VTEAMModel()

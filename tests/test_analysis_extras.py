@@ -1,0 +1,158 @@
+"""Tests for the analysis extensions: area, sensitivity, report, CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.area import AreaModel
+from repro.analysis.sensitivity import SWEEPABLE, sweep_parameter
+from repro.cli import build_parser, main
+from repro.core.config import default_config
+from repro.errors import ConfigurationError
+from repro.units import GIB, MIB
+
+
+class TestAreaModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return AreaModel(default_config(), f_nm=45.0)
+
+    def test_cells_dominate_a_large_unit(self, model):
+        report = model.unit_area(64)
+        assert report.cells_mm2 > report.decoders_mm2
+        assert report.overhead_fraction < 0.5
+
+    def test_shared_periphery_amortises(self, model):
+        small = model.unit_area(2).overhead_fraction
+        large = model.unit_area(64).overhead_fraction
+        assert large < small  # decoders shared over more storage
+
+    def test_interconnect_grows_with_blocks(self, model):
+        two = model.unit_area(2).interconnect_mm2
+        eight = model.unit_area(8).interconnect_mm2
+        assert eight > two
+
+    def test_per_array_organisation_costs_more(self, model):
+        blocks = 8
+        shared = model.unit_area(blocks)
+        shared_periphery = shared.total_mm2 - shared.cells_mm2
+        assert model.per_array_controller_area(blocks) > shared_periphery
+
+    def test_density_order_of_magnitude(self, model):
+        # A 4F^2 crosspoint at 45 nm stores ~15 GiB/cm^2; per mm^2 that is
+        # ~0.15 GiB — accept a generous band around it.
+        density = model.density_gib_per_mm2(1024)
+        assert 0.01 < density < 2.0
+
+    def test_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            AreaModel(f_nm=0)
+        with pytest.raises(ConfigurationError):
+            model.unit_area(0)
+
+
+class TestSensitivity:
+    def test_peripheral_energy_moves_energy_not_speed(self):
+        result = sweep_parameter(
+            "e_peripheral", [4e-13, 1.6e-12], tile_elements=1 << 10
+        )
+        low, high = result.points
+        assert low.speedup == pytest.approx(high.speedup, rel=1e-6)
+        assert low.energy_improvement > high.energy_improvement
+
+    def test_rows_per_lane_moves_speed(self):
+        result = sweep_parameter(
+            "mult_rows_per_lane", [96, 384], tile_elements=1 << 10
+        )
+        fewer_rows, more_rows = result.points
+        assert fewer_rows.speedup > more_rows.speedup
+
+    def test_spread_reported(self):
+        result = sweep_parameter(
+            "e_nor", [1e-15, 8e-15], tile_elements=1 << 10
+        )
+        assert result.spread() >= 1.0
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_parameter("magic_dust", [1.0])
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_parameter("e_nor", [])
+
+    def test_all_documented_parameters_sweepable(self):
+        for parameter in SWEEPABLE:
+            values = {
+                "e_nor": [2e-15],
+                "e_peripheral": [8e-13],
+                "mult_rows_per_lane": [192],
+                "cycle_time": [1.1e-9],
+                "block_rows": [1024],
+            }[parameter]
+            result = sweep_parameter(
+                parameter, values, dataset_bytes=256 * MIB,
+                tile_elements=1 << 10,
+            )
+            assert result.points[0].edp_improvement > 0
+
+
+class TestCLI:
+    def test_parser_knows_all_commands(self):
+        parser = build_parser()
+        for command in ("fig4", "fig5", "fig6", "table1", "adaptive",
+                        "report", "run", "sweep", "workloads"):
+            args = {
+                "run": [command, "Sobel"],
+                "sweep": [command, "e_nor", "1e-15"],
+            }.get(command, [command])
+            parsed = parser.parse_args(args)
+            assert parsed.command == command
+
+    def test_workloads_command(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "Sobel" in out and "GEMM" in out
+
+    def test_fig6_command(self, capsys):
+        assert main(["fig6"]) == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_run_command(self, capsys):
+        assert main(["run", "Robert", "-m", "16", "--elements", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "QoL" in out and "lane-cycles" in out
+
+    def test_sweep_command(self, capsys):
+        assert main(["sweep", "e_nor", "1e-15", "4e-15"]) == 0
+        assert "spread" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestReport:
+    def test_generate_report_small_scale(self):
+        from repro.analysis.report import generate_report
+
+        report = generate_report(
+            samples=500,
+            tile_elements=1 << 9,
+            workload_names=("Sobel", "Robert"),
+        )
+        for heading in ("Figure 4", "Figure 5", "Figure 6", "Table 1",
+                        "Adaptive", "Area"):
+            assert heading in report
+        assert "480x" in report  # the paper headline is cited
+
+    def test_campaign_command(self, capsys, tmp_path):
+        out_path = str(tmp_path / "grid.csv")
+        assert main([
+            "campaign", "--workloads", "Robert", "--levels", "0", "32",
+            "--tile", "512", "-o", out_path,
+        ]) == 0
+        with open(out_path, encoding="utf-8") as handle:
+            lines = handle.read().strip().splitlines()
+        assert lines[0].startswith("workload,")
+        assert len(lines) == 3  # header + 2 grid points

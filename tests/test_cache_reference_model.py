@@ -1,0 +1,109 @@
+"""Reference-model property test for the cache simulator.
+
+The set-associative LRU cache is validated against an independent
+brute-force implementation (dict of lists, linear scans) on random access
+traces — the strongest form of correctness evidence for stateful
+simulators: two implementations, one specification, arbitrary inputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.cache import Cache
+
+
+class BruteForceLRU:
+    """An obviously-correct set-associative LRU cache."""
+
+    def __init__(self, size_bytes: int, line_bytes: int, ways: int) -> None:
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = size_bytes // (line_bytes * ways)
+        # Per set: list of (tag, dirty), most-recently-used LAST.
+        self.sets: dict[int, list[list]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def access(self, addr: int, write: bool = False) -> bool:
+        line = addr // self.line_bytes
+        index = line % self.num_sets
+        tag = line // self.num_sets
+        entries = self.sets.setdefault(index, [])
+        for position, entry in enumerate(entries):
+            if entry[0] == tag:
+                self.hits += 1
+                entries.append(entries.pop(position))  # touch
+                if write:
+                    entry[1] = True
+                return True
+        self.misses += 1
+        if len(entries) >= self.ways:
+            victim = entries.pop(0)  # least recently used
+            if victim[1]:
+                self.writebacks += 1
+        entries.append([tag, write])
+        return False
+
+
+TRACE = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4095),  # addresses
+        st.booleans(),                             # write flag
+    ),
+    min_size=1,
+    max_size=300,
+)
+
+GEOMETRY = st.sampled_from(
+    [
+        (256, 32, 2),
+        (512, 64, 2),
+        (1024, 64, 4),
+        (2048, 32, 8),
+    ]
+)
+
+
+class TestAgainstReferenceModel:
+    @settings(max_examples=150, deadline=None)
+    @given(GEOMETRY, TRACE)
+    def test_hit_miss_sequences_identical(self, geometry, trace):
+        size, line, ways = geometry
+        cache = Cache(size, line_bytes=line, ways=ways)
+        reference = BruteForceLRU(size, line, ways)
+        for addr, write in trace:
+            assert cache.access(addr, write) == reference.access(addr, write)
+        assert cache.stats.hits == reference.hits
+        assert cache.stats.misses == reference.misses
+        assert cache.stats.writebacks == reference.writebacks
+
+    @settings(max_examples=60, deadline=None)
+    @given(TRACE)
+    def test_flush_writes_back_exactly_dirty_lines(self, trace):
+        cache = Cache(512, line_bytes=64, ways=2)
+        reference = BruteForceLRU(512, 64, 2)
+        for addr, write in trace:
+            cache.access(addr, write)
+            reference.access(addr, write)
+        dirty_resident = sum(
+            1
+            for entries in reference.sets.values()
+            for entry in entries
+            if entry[1]
+        )
+        assert cache.flush() == dirty_resident
+
+    @settings(max_examples=60, deadline=None)
+    @given(GEOMETRY, TRACE)
+    def test_stats_accounting_consistent(self, geometry, trace):
+        size, line, ways = geometry
+        cache = Cache(size, line_bytes=line, ways=ways)
+        for addr, write in trace:
+            cache.access(addr, write)
+        assert cache.stats.accesses == len(trace)
+        assert 0.0 <= cache.stats.miss_rate <= 1.0
+        assert cache.stats.writebacks <= cache.stats.evictions

@@ -1,0 +1,93 @@
+"""Tests for the campaign grid runner (repro.runtime.campaign)."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.campaign import run_campaign
+from repro.units import MIB
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign(
+        workloads=["Sobel", "Robert"],
+        relax_levels=[0, 24, 32],
+        dataset_bytes=512 * MIB,
+        tile_elements=1 << 10,
+    )
+
+
+class TestGrid:
+    def test_full_grid_produced(self, campaign):
+        assert len(campaign.points) == 6
+        assert {p.workload for p in campaign.points} == {"Sobel", "Robert"}
+        assert {p.relax_bits for p in campaign.points} == {0, 24, 32}
+
+    def test_exact_points_meet_qos(self, campaign):
+        for point in campaign.points:
+            if point.relax_bits == 0:
+                assert point.qos_ok
+                assert point.qol_percent == 0.0
+
+    def test_edp_monotone_per_workload(self, campaign):
+        for name in ("Sobel", "Robert"):
+            edps = [
+                p.edp_improvement
+                for p in campaign.points
+                if p.workload == name
+            ]
+            assert edps == sorted(edps)
+
+    def test_best_within_qos(self, campaign):
+        best = campaign.best_within_qos("Sobel")
+        assert best.qos_ok
+        exact = next(
+            p for p in campaign.points
+            if p.workload == "Sobel" and p.relax_bits == 0
+        )
+        assert best.edp_improvement >= exact.edp_improvement
+
+    def test_best_within_qos_unknown_workload(self, campaign):
+        with pytest.raises(ConfigurationError):
+            campaign.best_within_qos("Ghost")
+
+
+class TestExport:
+    def test_csv_round_trip(self, campaign):
+        parsed = list(csv.reader(io.StringIO(campaign.to_csv())))
+        header, rows = campaign.to_rows()
+        assert parsed[0] == header
+        assert len(parsed) == len(rows) + 1
+
+    def test_rows_align_with_points(self, campaign):
+        header, rows = campaign.to_rows()
+        assert len(rows) == len(campaign.points)
+        assert all(len(r) == len(header) for r in rows)
+
+
+class TestValidation:
+    def test_empty_workloads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_campaign([], [0])
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_campaign(["Sobel"], [])
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_campaign(["Sobel"], [-4])
+
+    def test_accepts_workload_objects(self):
+        from repro.workloads import workload_by_name
+
+        result = run_campaign(
+            [workload_by_name("Robert")], [0], dataset_bytes=64 * MIB,
+            tile_elements=1 << 9,
+        )
+        assert result.points[0].workload == "Robert"

@@ -1,0 +1,98 @@
+"""Unit tests for the memristor bit cell (repro.device.cell)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device.cell import LOGIC_THRESHOLD, MemristorCell
+from repro.device.vteam import VTEAMModel
+from repro.errors import DeviceError
+from repro.units import NS
+
+
+@pytest.fixture
+def cell(vteam):
+    return MemristorCell(vteam)
+
+
+class TestLogicalView:
+    def test_starts_as_zero(self, cell):
+        assert cell.value == 0
+
+    def test_threshold_constant(self):
+        assert 0 < LOGIC_THRESHOLD < 1
+
+    def test_value_follows_state(self, cell):
+        cell.force_state(0.9)
+        assert cell.value == 1
+        cell.force_state(0.1)
+        assert cell.value == 0
+
+    def test_resistance_tracks_model(self, cell, vteam):
+        cell.force_state(0.7)
+        assert cell.resistance == pytest.approx(vteam.resistance(0.7))
+
+    def test_conductance_reciprocal(self, cell):
+        cell.force_state(1.0)
+        assert cell.conductance == pytest.approx(1.0 / cell.resistance)
+
+
+class TestWrite:
+    def test_write_one(self, cell):
+        cell.write(1)
+        assert cell.value == 1
+
+    def test_write_zero_after_one(self, cell):
+        cell.write(1)
+        cell.write(0)
+        assert cell.value == 0
+
+    def test_write_returns_positive_energy(self, cell):
+        assert cell.write(1) > 0
+
+    def test_write_counts_transitions(self, cell):
+        cell.write(1)
+        cell.write(1)  # no transition
+        cell.write(0)
+        assert cell.set_count == 1
+        assert cell.reset_count == 1
+
+    def test_energy_accumulates(self, cell):
+        cell.write(1)
+        first = cell.energy
+        cell.write(0)
+        assert cell.energy > first
+
+    def test_rejects_non_bits(self, cell):
+        with pytest.raises(DeviceError):
+            cell.write(2)
+
+
+class TestPulse:
+    def test_subthreshold_pulse_keeps_value(self, cell):
+        cell.write(1)
+        cell.apply_pulse(0.2, 1.1 * NS)
+        assert cell.value == 1
+
+    def test_strong_reset_pulse_flips(self, cell):
+        cell.write(1)
+        cell.apply_pulse(-1.5, 2 * NS)
+        assert cell.value == 0
+        assert cell.reset_count == 1
+
+    def test_pulse_returns_energy(self, cell):
+        assert cell.apply_pulse(0.3, 1.1 * NS) > 0
+
+
+class TestForceState:
+    def test_valid(self, cell):
+        cell.force_state(0.42)
+        assert cell.state == pytest.approx(0.42)
+
+    def test_out_of_range_rejected(self, cell):
+        with pytest.raises(DeviceError):
+            cell.force_state(1.01)
+
+    def test_constructor_validates_state(self, vteam):
+        with pytest.raises(DeviceError):
+            MemristorCell(vteam, state=-0.1)

@@ -1,0 +1,155 @@
+"""Unit tests for the memory controller command interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crossbar.block import BlockedCrossbar
+from repro.crossbar.controller import (
+    Command,
+    MemoryController,
+    assemble,
+    assemble_program,
+    format_command,
+)
+from repro.errors import CrossbarError
+
+
+@pytest.fixture
+def controller(vteam):
+    return MemoryController(BlockedCrossbar(2, 16, 16, vteam))
+
+
+class TestCommandForm:
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(CrossbarError):
+            Command("FLY", ())
+
+    @pytest.mark.parametrize(
+        "command",
+        [
+            Command("WR", (0, 2, 0xAB, 8)),
+            Command("RD", (0, 2, 8)),
+            Command("CLR", (1, 3)),
+            Command("INIT", (0, ((1, 2), (3, 4)))),
+            Command("NOR", (0, ((0, 0), (0, 1)), (0, 5))),
+            Command("CPY", (0, 1, 1, 2, 8, 3, False)),
+            Command("CPY", (0, 1, 1, 2, 8, 0, True)),
+            Command("MAJ", (0, 3, (0, 1, 2), (4, 3))),
+            Command("TICK", (7,)),
+        ],
+    )
+    def test_assembly_round_trip(self, command):
+        line = format_command(command)
+        assert assemble(line) == command
+
+    def test_assemble_program_skips_comments(self):
+        program = assemble_program(
+            """
+            # write two operands
+            WR b0 r0 0x12 w8
+            WR b0 r1 0x34 w8   # second operand
+
+            RD b0 r0 w8
+            """
+        )
+        assert [c.opcode for c in program] == ["WR", "WR", "RD"]
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(CrossbarError):
+            assemble("WR nonsense")
+        with pytest.raises(CrossbarError):
+            assemble("")
+
+
+class TestExecution:
+    def test_write_read_round_trip(self, controller):
+        controller.execute(Command("WR", (0, 2, 0xAB, 8)))
+        value = controller.execute(Command("RD", (0, 2, 8)))
+        assert value == 0xAB
+        assert controller.results == [0xAB]
+
+    def test_clear(self, controller):
+        controller.execute(Command("WR", (0, 2, 0xFF, 8)))
+        controller.execute(Command("CLR", (0, 2)))
+        assert controller.execute(Command("RD", (0, 2, 8))) == 0
+
+    def test_nor_through_commands(self, controller):
+        controller.run(
+            assemble_program(
+                """
+                WR b0 r0 0x1 w1
+                WR b0 r1 0x0 w1
+                INIT b0 0:5
+                NOR b0 0:0,1:0 -> 0:5
+                RD b0 r0 w1
+                """
+            )
+        )
+        # NOR(1, 0) = 0 landed at (0, 5).
+        assert controller.fabric.block(0).value(0, 5) == 0
+
+    def test_copy_command_with_shift(self, controller):
+        controller.execute(Command("WR", (0, 1, 0b101, 3)))
+        controller.execute(Command("CPY", (0, 1, 1, 4, 3, 2, False)))
+        assert controller.fabric.read_word(1, 4, 5) == 0b101 << 2
+
+    def test_maj_command(self, controller):
+        for row, bit in enumerate((1, 1, 0)):
+            controller.fabric.block(0).set_value(row, 3, bit)
+        before = controller.fabric.cycles
+        controller.execute(Command("MAJ", (0, 3, (0, 1, 2), (4, 3))))
+        assert controller.fabric.block(0).value(4, 3) == 1
+        assert controller.fabric.cycles - before == 2  # sense+MAJ, write
+
+    def test_tick_advances_clock(self, controller):
+        controller.execute(Command("TICK", (5,)))
+        assert controller.fabric.cycles == 5
+
+    def test_run_returns_reads_in_order(self, controller):
+        results = controller.run(
+            assemble_program(
+                """
+                WR b0 r0 0x3 w4
+                WR b0 r1 0x9 w4
+                RD b0 r1 w4
+                RD b0 r0 w4
+                """
+            )
+        )
+        assert results == [0x9, 0x3]
+
+    def test_transcript_replays_identically(self, controller, vteam):
+        program = assemble_program(
+            """
+            WR b0 r0 0x2B w8
+            CPY b0 r0 -> b1 r3 w8 s1
+            RD b0 r0 w8
+            """
+        )
+        controller.run(program)
+        replay = MemoryController(BlockedCrossbar(2, 16, 16, vteam))
+        replayed = replay.run(assemble_program(controller.transcript()))
+        assert replayed == controller.results
+        assert replay.fabric.read_word(1, 3, 9) == 0x2B << 1
+
+
+class TestGoldenTraceAddition:
+    def test_scripted_full_adder_bit(self, controller):
+        """A hand-written command program computing one full-adder bit via
+        the paper's Eq. 1a/1b schedule; validates the command interface can
+        express real micro-programs."""
+        a, b, cin = 1, 0, 1
+        program = f"""
+        WR b0 r0 {a:#x} w1
+        WR b0 r1 {b:#x} w1
+        WR b0 r2 {cin:#x} w1
+        INIT b0 3:0,4:0,5:0,6:0
+        NOR b0 0:0,1:0 -> 3:0
+        NOR b0 1:0,2:0 -> 4:0
+        NOR b0 2:0,0:0 -> 5:0
+        NOR b0 3:0,4:0,5:0 -> 6:0
+        """
+        controller.run(assemble_program(program))
+        carry = controller.fabric.block(0).value(6, 0)
+        assert carry == int(a + b + cin >= 2)

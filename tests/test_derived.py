@@ -1,0 +1,144 @@
+"""Unit tests for derived arithmetic (repro.core.derived)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.approximation import ApproxSpec
+from repro.core.derived import (
+    fixed_divide,
+    fixed_reciprocal,
+    fixed_sqrt,
+    magnitude_approx,
+)
+from repro.core.engine import APIMEngine
+from repro.errors import ConfigurationError
+
+F = 16  # Q16 fixed point
+ONE = 1 << F
+
+
+@pytest.fixture
+def values(rng):
+    # Q16 values spanning ~0.25 .. 256.
+    return rng.integers(ONE // 4, 256 * ONE, 300).astype(np.int64)
+
+
+class TestReciprocal:
+    def test_accuracy_within_one_percent(self, engine, values):
+        result = fixed_reciprocal(engine, values, F)
+        true = (1 << (2 * F)) / values
+        assert np.max(np.abs(result - true) / true) < 0.01
+
+    def test_powers_of_two_near_exact(self, engine):
+        for k in (F - 2, F, F + 4, F + 8):
+            x = np.int64(1 << k)
+            r = int(fixed_reciprocal(engine, x, F)[0])
+            true = 1 << (2 * F - k)
+            assert abs(r - true) <= max(2, true // 1000)
+
+    def test_charges_engine_cost(self, engine, values):
+        fixed_reciprocal(engine, values, F)
+        assert engine.total_cost.cycles > 0
+        assert engine.mul_count >= 2 * values.size  # >= 2 muls per step
+
+    def test_more_iterations_never_worse(self, values):
+        errors = []
+        for iters in (1, 2, 4):
+            engine = APIMEngine()
+            result = fixed_reciprocal(engine, values, F, iterations=iters)
+            true = (1 << (2 * F)) / values
+            errors.append(float(np.max(np.abs(result - true) / true)))
+        assert errors[0] >= errors[1] >= errors[2]
+
+    def test_rejects_negative_input(self, engine):
+        with pytest.raises(ConfigurationError):
+            fixed_reciprocal(engine, np.int64(-5), F)
+
+    def test_rejects_bad_parameters(self, engine):
+        with pytest.raises(ConfigurationError):
+            fixed_reciprocal(engine, np.int64(1), frac_bits=0)
+        with pytest.raises(ConfigurationError):
+            fixed_reciprocal(engine, np.int64(1), F, iterations=0)
+
+
+class TestDivide:
+    def test_accuracy(self, engine, rng, values):
+        numerators = rng.integers(ONE, 100 * ONE, values.size).astype(np.int64)
+        result = fixed_divide(engine, numerators, values, F)
+        true = numerators.astype(np.float64) * ONE / values
+        assert np.max(np.abs(result - true) / np.maximum(true, 1)) < 0.01
+
+    def test_divide_by_self_is_one(self, engine, values):
+        result = fixed_divide(engine, values, values, F)
+        assert np.max(np.abs(result - ONE) / ONE) < 0.01
+
+    def test_scalar_inputs(self, engine):
+        q = fixed_divide(engine, np.int64(10 * ONE), np.int64(4 * ONE), F)
+        assert abs(int(q[0]) - int(2.5 * ONE)) < ONE // 100
+
+
+class TestSqrt:
+    def test_accuracy(self, engine, values):
+        result = fixed_sqrt(engine, values, F)
+        true = np.sqrt(values.astype(np.float64) / ONE) * ONE
+        assert np.max(np.abs(result - true) / true) < 0.01
+
+    def test_perfect_squares(self, engine):
+        for root in (2, 3, 10):
+            x = np.int64(root * root * ONE)
+            s = int(fixed_sqrt(engine, x, F)[0])
+            assert abs(s - root * ONE) < ONE // 50
+
+    def test_zero_maps_to_zero(self, engine):
+        assert int(fixed_sqrt(engine, np.int64(0), F)[0]) == 0
+
+    def test_rejects_negative(self, engine):
+        with pytest.raises(ConfigurationError):
+            fixed_sqrt(engine, np.int64(-1), F)
+
+
+class TestMagnitudeApprox:
+    def test_matches_l1_norm(self, engine, rng):
+        x = rng.integers(-(1 << 20), 1 << 20, 500)
+        y = rng.integers(-(1 << 20), 1 << 20, 500)
+        assert np.array_equal(
+            magnitude_approx(engine, x, y), np.abs(x) + np.abs(y)
+        )
+
+    def test_bounds_euclidean_norm(self, engine, rng):
+        # |x| + |y| over-estimates sqrt(x^2+y^2) by at most sqrt(2).
+        x = rng.integers(1, 1 << 20, 500)
+        y = rng.integers(1, 1 << 20, 500)
+        approx = magnitude_approx(engine, x, y).astype(np.float64)
+        euclid = np.hypot(x.astype(np.float64), y.astype(np.float64))
+        assert np.all(approx >= euclid - 1)
+        assert np.all(approx <= np.sqrt(2) * euclid + 1)
+
+
+class TestApproximateMode:
+    def test_derived_ops_inherit_engine_approximation(self, values):
+        exact_engine = APIMEngine()
+        approx_engine = APIMEngine(spec=ApproxSpec.last_stage(16))
+        fixed_reciprocal(exact_engine, values, F)
+        fixed_reciprocal(approx_engine, values, F)
+        assert (
+            approx_engine.total_cost.cycles < exact_engine.total_cost.cycles
+        )
+
+    def test_moderately_approximate_reciprocal_still_converges(self, values):
+        # Newton iteration tolerates relaxation well below the smallest
+        # reciprocal's magnitude (r_min ~ 2^8 in this Q16 sweep).
+        engine = APIMEngine(spec=ApproxSpec.last_stage(8))
+        result = fixed_reciprocal(engine, values, F)
+        true = (1 << (2 * F)) / values
+        assert np.max(np.abs(result - true) / true) < 0.05
+
+    def test_extreme_relax_degrades_gracefully(self, values):
+        # Relaxing the whole value field wrecks accuracy, but the clamped
+        # Newton update must neither crash nor overflow the datapath.
+        engine = APIMEngine(spec=ApproxSpec.last_stage(32))
+        result = fixed_reciprocal(engine, values, F)
+        assert np.all(result >= 0)
+        assert np.all(result <= np.int64(1) << 30)

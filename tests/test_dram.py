@@ -1,0 +1,87 @@
+"""Unit tests for the DDR4 DIMM model (repro.baselines.dram)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.dram import DRAMModel
+from repro.errors import ConfigurationError
+from repro.units import GIB, MIB
+
+
+@pytest.fixture
+def dram():
+    return DRAMModel()
+
+
+class TestRowLocality:
+    def test_perfect_locality_inside_open_rows(self, dram):
+        assert dram.row_hit_rate(dram.banks * dram.row_buffer_bytes) == 1.0
+
+    def test_hit_rate_degrades_with_footprint(self, dram):
+        rates = [dram.row_hit_rate(s) for s in (MIB, 32 * MIB, GIB)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_hit_rate_bounded(self, dram):
+        for size in (1, MIB, GIB, 64 * GIB):
+            assert 0.0 < dram.row_hit_rate(size) <= 1.0
+
+    def test_rejects_non_positive_footprint(self, dram):
+        with pytest.raises(ConfigurationError):
+            dram.row_hit_rate(0)
+
+
+class TestBandwidthAndTime:
+    def test_effective_bandwidth_below_peak(self, dram):
+        assert dram.effective_bandwidth(GIB) < dram.peak_bandwidth
+
+    def test_bandwidth_degrades_with_footprint(self, dram):
+        assert dram.effective_bandwidth(GIB) <= dram.effective_bandwidth(MIB)
+
+    def test_transfer_time_linear_in_bytes(self, dram):
+        t1 = dram.transfer_time(MIB, GIB)
+        t2 = dram.transfer_time(2 * MIB, GIB)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_zero_bytes_is_zero_time(self, dram):
+        assert dram.transfer_time(0, GIB) == 0.0
+
+    def test_negative_bytes_rejected(self, dram):
+        with pytest.raises(ConfigurationError):
+            dram.transfer_time(-1, GIB)
+
+
+class TestEnergy:
+    def test_energy_linear_in_bytes(self, dram):
+        e1 = dram.transfer_energy(MIB, GIB)
+        assert dram.transfer_energy(3 * MIB, GIB) == pytest.approx(3 * e1)
+
+    def test_row_misses_cost_more(self, dram):
+        small = dram.transfer_energy(MIB, MIB)
+        large = dram.transfer_energy(MIB, 16 * GIB)
+        assert large > small
+
+    def test_per_bit_energy_in_ddr4_range(self, dram):
+        joules_per_bit = dram.transfer_energy(MIB, GIB) / (MIB * 8)
+        assert 5e-12 < joules_per_bit < 50e-12
+
+    def test_negative_bytes_rejected(self, dram):
+        with pytest.raises(ConfigurationError):
+            dram.transfer_energy(-1, GIB)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"peak_bandwidth": 0},
+            {"row_hit_efficiency": 0.2, "row_miss_efficiency": 0.5},
+            {"row_hit_efficiency": 1.5},
+            {"row_buffer_bytes": 0},
+            {"banks": 0},
+            {"energy_per_bit_hit": -1.0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DRAMModel(**kwargs)

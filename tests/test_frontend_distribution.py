@@ -1,0 +1,172 @@
+"""Tests for kernel frontends and error-distribution analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler import evaluate, exact_reference
+from repro.compiler.frontend import (
+    COEFF_BITS,
+    fir_kernel,
+    mac_chain_kernel,
+    stencil_kernel,
+)
+from repro.core.approximation import ApproxSpec
+from repro.core.engine import APIMEngine
+from repro.errors import WorkloadError
+from repro.quality.distribution import (
+    error_distribution,
+    worst_case_elements,
+)
+
+
+class TestStencilFrontend:
+    def test_generated_sobel_matches_builtin_reference(self, rng):
+        """A stencil kernel generated from Sobel's Gx taps must compute the
+        same numbers as the shipped workload's convolution."""
+        from repro.workloads.sobel import GX
+        from repro.workloads.stencil import convolve2d_exact
+
+        kernel = stencil_kernel("sobel_gx", GX.tolist())
+        image = rng.integers(0, 255 << 12, (24, 24)).astype(np.int64)
+        padded = np.pad(image, 1, mode="edge")
+        inputs = {}
+        for dy in range(3):
+            for dx in range(3):
+                if GX[dy, dx]:
+                    inputs[f"tap_{dy}_{dx}"] = padded[
+                        dy : dy + 24, dx : dx + 24
+                    ].ravel()
+        out = exact_reference(kernel, inputs)["out"].reshape(24, 24)
+        want = convolve2d_exact(image, GX) >> COEFF_BITS
+        assert np.array_equal(out, want)
+
+    def test_engine_execution_matches_reference(self, rng):
+        kernel = stencil_kernel("avg", [[0.25, 0.25], [0.25, 0.25]])
+        inputs = {
+            name: rng.integers(0, 1 << 16, 100)
+            for name in kernel.inputs
+        }
+        engine = APIMEngine()
+        got = evaluate(kernel, engine, inputs)["out"]
+        assert np.array_equal(got, exact_reference(kernel, inputs)["out"])
+        assert engine.mul_count == 4 * 100
+
+    def test_zero_taps_skipped(self):
+        kernel = stencil_kernel("cross", [[0, 1, 0], [1, 0, 1], [0, 1, 0]])
+        assert len(kernel.inputs) == 4
+
+    def test_single_tap_no_reduction(self):
+        kernel = stencil_kernel("identity", [[1.0]])
+        from repro.compiler.ir import OpKind
+
+        assert kernel.op_counts().get(OpKind.SUM, 0) == 0
+
+    @pytest.mark.parametrize(
+        "taps", [[], [[]], [[1, 2], [3]], [[0, 0], [0, 0]]]
+    )
+    def test_invalid_taps_rejected(self, taps):
+        with pytest.raises(WorkloadError):
+            stencil_kernel("bad", taps)
+
+
+class TestFirAndMacFrontends:
+    def test_fir_semantics(self, rng):
+        kernel = fir_kernel("lp", [0.5, 0.25, 0.25])
+        inputs = {
+            f"x{k}": rng.integers(0, 1 << 16, 64) for k in range(3)
+        }
+        out = exact_reference(kernel, inputs)["y"]
+        q = lambda c: int(round(c * (1 << COEFF_BITS)))
+        want = (
+            q(0.5) * inputs["x0"] + q(0.25) * inputs["x1"]
+            + q(0.25) * inputs["x2"]
+        ) >> COEFF_BITS
+        assert np.array_equal(out, want)
+
+    def test_mac_chain_integer_weights(self, rng):
+        kernel = mac_chain_kernel("dot", [3, -2, 7])
+        inputs = {
+            f"x{k}": rng.integers(0, 1 << 12, 32) for k in range(3)
+        }
+        out = exact_reference(kernel, inputs)["acc"]
+        want = 3 * inputs["x0"] - 2 * inputs["x1"] + 7 * inputs["x2"]
+        assert np.array_equal(out, want)
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            fir_kernel("k", [])
+        with pytest.raises(WorkloadError):
+            mac_chain_kernel("k", [0, 0])
+
+
+class TestErrorDistribution:
+    def test_exact_output_is_degenerate(self):
+        data = np.arange(1.0, 100.0)
+        dist = error_distribution(data, data)
+        assert dist.mean == dist.max == 0.0
+        assert dist.fraction_exact == 1.0
+        assert not dist.is_heavy_tailed()
+
+    def test_uniform_small_error(self):
+        ref = np.full(1000, 1000.0)
+        out = ref * 1.005
+        dist = error_distribution(ref, out)
+        assert dist.mean == pytest.approx(0.005)
+        assert dist.median == pytest.approx(0.005)
+        assert not dist.is_heavy_tailed()
+
+    def test_concentrated_damage_detected(self):
+        ref = np.full(1000, 1000.0)
+        out = ref.copy()
+        out[:15] *= 3.0  # 1.5 % catastrophic elements: inside the p99 tail
+        dist = error_distribution(ref, out)
+        assert dist.median == 0.0
+        assert dist.max == pytest.approx(2.0)
+        assert dist.is_heavy_tailed()
+        assert dist.fraction_above_1pct == pytest.approx(0.015)
+
+    def test_quantiles_ordered(self, rng):
+        ref = rng.uniform(100, 200, 5000)
+        out = ref + rng.normal(0, 5, 5000)
+        dist = error_distribution(ref, out)
+        assert dist.median <= dist.p95 <= dist.p99 <= dist.max
+
+    def test_real_approximation_profile(self, rng):
+        """The MAJ approximation on a multiply stream: errors are shallow
+        and widespread, not catastrophic — the distribution shows it."""
+        from repro.core.multiplier import APIMMultiplier
+
+        mult = APIMMultiplier()
+        a = rng.integers(1 << 28, 1 << 32, 5000, dtype=np.uint64)
+        b = rng.integers(1 << 28, 1 << 32, 5000, dtype=np.uint64)
+        out = mult.multiply(a, b, ApproxSpec.last_stage(32)).products
+        dist = error_distribution(
+            (a * b).astype(np.float64), out.astype(np.float64)
+        )
+        assert dist.max < 1e-6          # bounded by 2^32 / ~2^60
+        assert dist.fraction_exact < 0.5  # ... but almost everything moved
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(WorkloadError):
+            error_distribution(np.zeros(3), np.zeros(4))
+
+
+class TestWorstCase:
+    def test_locates_damage(self):
+        ref = np.full(100, 50.0)
+        out = ref.copy()
+        out[7] = 500.0
+        out[42] = 100.0
+        worst = worst_case_elements(ref, out, count=2)
+        assert [i for i, _ in worst] == [7, 42]
+        assert worst[0][1] > worst[1][1]
+
+    def test_count_clamped_to_size(self):
+        ref = np.arange(1.0, 6.0)
+        assert len(worst_case_elements(ref, ref, count=50)) == 5
+
+    def test_invalid_count(self):
+        with pytest.raises(WorkloadError):
+            worst_case_elements(np.ones(3), np.ones(3), count=0)

@@ -1,0 +1,88 @@
+"""Unit tests for the configurable interconnect (repro.crossbar.interconnect)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crossbar.interconnect import ConfigurableInterconnect
+from repro.errors import CrossbarError
+
+
+@pytest.fixture
+def icn():
+    return ConfigurableInterconnect(16)
+
+
+class TestConfiguration:
+    def test_starts_unshifted(self, icn):
+        assert icn.shift == 0
+
+    def test_configure(self, icn):
+        icn.configure(4)
+        assert icn.shift == 4
+
+    def test_configure_counts_changes(self, icn):
+        icn.configure(4)
+        icn.configure(4)  # no change
+        icn.configure(2)
+        assert icn.configuration_changes == 2
+
+    def test_shift_out_of_range_rejected(self, icn):
+        with pytest.raises(CrossbarError):
+            icn.configure(16)
+        with pytest.raises(CrossbarError):
+            icn.configure(-1)
+
+    def test_restricted_max_shift(self):
+        limited = ConfigurableInterconnect(16, max_shift=3)
+        limited.configure(3)
+        with pytest.raises(CrossbarError):
+            limited.configure(4)
+
+    def test_invalid_construction(self):
+        with pytest.raises(CrossbarError):
+            ConfigurableInterconnect(0)
+        with pytest.raises(CrossbarError):
+            ConfigurableInterconnect(8, max_shift=8)
+
+
+class TestRouting:
+    def test_identity_route(self, icn):
+        assert icn.route(5) == 5
+
+    def test_shifted_route(self, icn):
+        icn.configure(3)
+        assert icn.route(5) == 8
+
+    def test_route_off_block_rejected(self, icn):
+        icn.configure(4)
+        with pytest.raises(CrossbarError):
+            icn.route(13)
+
+    def test_route_negative_rejected(self, icn):
+        with pytest.raises(CrossbarError):
+            icn.route(-1)
+
+    def test_route_segment(self, icn):
+        icn.configure(2)
+        assert list(icn.route_segment(1, 4)) == [3, 4, 5, 6]
+
+    def test_route_segment_validates_far_end(self, icn):
+        icn.configure(4)
+        with pytest.raises(CrossbarError):
+            icn.route_segment(10, 4)  # source col 13 -> dest 17 off-block
+
+    def test_route_segment_zero_width_rejected(self, icn):
+        with pytest.raises(CrossbarError):
+            icn.route_segment(0, 0)
+
+
+class TestTrafficAccounting:
+    def test_transfers_accumulate(self, icn):
+        icn.record_transfer(8)
+        icn.record_transfer(4)
+        assert icn.bits_transferred == 12
+
+    def test_negative_transfer_rejected(self, icn):
+        with pytest.raises(CrossbarError):
+            icn.record_transfer(-1)

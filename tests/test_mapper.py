@@ -1,0 +1,138 @@
+"""Unit tests for the data-layout mapper (repro.crossbar.mapper)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import APIMConfig, default_config
+from repro.crossbar.mapper import CrossbarMapper, DataLayout
+from repro.errors import CrossbarError
+
+
+@pytest.fixture
+def mapper():
+    return CrossbarMapper(default_config())
+
+
+class TestGeometry:
+    def test_words_per_row_leaves_product_room(self, mapper):
+        cfg = mapper.config
+        assert mapper.words_per_row == cfg.block_cols // (2 * cfg.word_bits)
+
+    def test_narrow_blocks_rejected(self):
+        config = APIMConfig(block_cols=32, word_bits=32)
+        with pytest.raises(CrossbarError):
+            CrossbarMapper(config).words_per_row
+
+    def test_data_row_fraction_bounds(self):
+        with pytest.raises(CrossbarError):
+            CrossbarMapper(data_row_fraction=0.0)
+        with pytest.raises(CrossbarError):
+            CrossbarMapper(data_row_fraction=1.0)
+
+
+class TestPlacement:
+    def test_first_word_at_origin(self, mapper):
+        layout = mapper.place("a", 1000)
+        p = layout.placement(0)
+        assert (p.block, p.row, p.start_col) == (layout.first_block, 0, 0)
+
+    def test_words_pack_along_rows_then_rows_then_blocks(self, mapper):
+        layout = mapper.place("a", layout_elems := 10**5)
+        per_row = layout.words_per_row
+        p_row_end = layout.placement(per_row - 1)
+        p_next_row = layout.placement(per_row)
+        assert p_row_end.row == 0 and p_next_row.row == 1
+        per_block = per_row * layout.rows_per_block
+        p_next_block = layout.placement(per_block)
+        assert p_next_block.block == layout.first_block + 1
+        assert p_next_block.row == 0
+
+    def test_every_word_unique_home(self, mapper):
+        layout = mapper.place("a", 2000)
+        homes = {layout.placement(i) for i in range(2000)}
+        assert len(homes) == 2000
+
+    def test_columns_word_aligned(self, mapper):
+        layout = mapper.place("a", 500)
+        for i in range(0, 500, 37):
+            assert layout.placement(i).start_col % layout.word_bits == 0
+
+    def test_out_of_range_rejected(self, mapper):
+        layout = mapper.place("a", 10)
+        with pytest.raises(CrossbarError):
+            layout.placement(10)
+
+    def test_capacity_covers_elements(self, mapper):
+        layout = mapper.place("a", 12345)
+        assert layout.capacity >= 12345
+
+
+class TestAllocation:
+    def test_arrays_get_disjoint_blocks(self, mapper):
+        a = mapper.place("a", 10**5)
+        b = mapper.place("b", 10**5)
+        assert b.first_block >= a.first_block + a.blocks_used
+
+    def test_duplicate_name_rejected(self, mapper):
+        mapper.place("a", 10)
+        with pytest.raises(CrossbarError):
+            mapper.place("a", 10)
+
+    def test_non_positive_elements_rejected(self, mapper):
+        with pytest.raises(CrossbarError):
+            mapper.place("a", 0)
+
+    def test_blocks_allocated_tracks(self, mapper):
+        mapper.place("a", 10**5)
+        assert mapper.blocks_allocated() > 0
+
+    def test_utilization(self, mapper):
+        layout = mapper.place("a", 100)
+        assert 0 < mapper.utilization("a") <= 1.0
+        assert mapper.utilization("a") == 100 / layout.capacity
+
+    def test_unknown_array_rejected(self, mapper):
+        with pytest.raises(CrossbarError):
+            mapper.utilization("ghost")
+
+
+class TestLaneAssignment:
+    def test_lanes_positive(self, mapper):
+        mapper.place("a", 10**6)
+        mapper.place("b", 10**6)
+        assert mapper.elementwise_lanes("a", "b") > 0
+
+    def test_mismatched_lengths_rejected(self, mapper):
+        mapper.place("a", 100)
+        mapper.place("b", 200)
+        with pytest.raises(CrossbarError):
+            mapper.elementwise_lanes("a", "b")
+
+    def test_agrees_with_analytic_lane_model(self):
+        """The mapper's concrete lanes and APIMConfig.parallel_lanes model
+        the same mechanism.  The concrete layout reserves product room
+        beside every word and splits rows between data and scratch, so it
+        spreads the dataset over ~4x more blocks than raw storage density
+        would (more block-level parallelism, more area) — the two lane
+        counts must agree within that packing factor."""
+        config = default_config()
+        mapper = CrossbarMapper(
+            config,
+            data_row_fraction=1 - config.processing_block_fraction,
+        )
+        elements = 10**7
+        mapper.place("a", elements)
+        dataset_bytes = elements * 4
+        analytic = config.parallel_lanes(dataset_bytes)
+        concrete = mapper.elementwise_lanes("a")
+        packing = (
+            mapper.layouts["a"].blocks_used
+            / config.blocks_for(dataset_bytes)
+        )
+        assert packing == pytest.approx(4.0, rel=0.05)
+        assert 1.0 / packing <= concrete / analytic <= packing
+
+    def test_needs_at_least_one_array(self, mapper):
+        with pytest.raises(CrossbarError):
+            mapper.elementwise_lanes()

@@ -1,0 +1,109 @@
+"""Tests for microcode emission (repro.crossbar.microcode)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.timing import serial_add_cycles
+from repro.crossbar.block import BlockedCrossbar
+from repro.crossbar.controller import (
+    MemoryController,
+    assemble_program,
+    format_command,
+)
+from repro.crossbar.microcode import (
+    emit_copy_shifted,
+    emit_full_adder_bit,
+    emit_serial_add,
+)
+from repro.errors import CrossbarError
+
+SCRATCH = list(range(20, 31))  # 10 FA scratch rows + carry row
+
+
+@pytest.fixture
+def controller(vteam):
+    return MemoryController(BlockedCrossbar(2, 40, 20, vteam))
+
+
+class TestFullAdderBit:
+    @pytest.mark.parametrize("a", (0, 1))
+    @pytest.mark.parametrize("b", (0, 1))
+    @pytest.mark.parametrize("cin", (0, 1))
+    def test_truth_table_by_replay(self, controller, a, b, cin):
+        fabric = controller.fabric
+        fabric.block(0).set_value(0, 0, a)
+        fabric.block(0).set_value(1, 0, b)
+        fabric.block(0).set_value(2, 0, cin)
+        program = emit_full_adder_bit(
+            block=0,
+            a=(0, 0), b=(1, 0), cin=(2, 0),
+            cout=(3, 0), total=(4, 0),
+            scratch=[(10 + i, 0) for i in range(10)],
+        )
+        assert len(program) == 13  # 1 INIT + 12 NOR
+        controller.run(program)
+        assert fabric.block(0).value(4, 0) == (a + b + cin) & 1
+        assert fabric.block(0).value(3, 0) == int(a + b + cin >= 2)
+
+    def test_scratch_count_enforced(self):
+        with pytest.raises(CrossbarError):
+            emit_full_adder_bit(
+                0, (0, 0), (1, 0), (2, 0), (3, 0), (4, 0), scratch=[(9, 0)]
+            )
+
+
+class TestSerialAddProgram:
+    def test_replay_produces_sum_and_formula_cycles(self, controller):
+        rnd = random.Random(5)
+        fabric = controller.fabric
+        for _ in range(8):
+            a, b = rnd.randrange(256), rnd.randrange(256)
+            fabric.block(0).clear()
+            fabric.write_word(0, 0, a, 8)
+            fabric.write_word(0, 1, b, 8)
+            before = fabric.cycles
+            controller.run(emit_serial_add(0, 0, 1, 2, 8, SCRATCH))
+            assert fabric.read_word(0, 2, 9) == a + b
+            assert fabric.cycles - before == serial_add_cycles(8)
+
+    def test_program_round_trips_through_assembly(self, controller, vteam):
+        program = emit_serial_add(0, 0, 1, 2, 4, SCRATCH)
+        text = "\n".join(format_command(c) for c in program)
+        reparsed = assemble_program(text)
+        assert reparsed == program
+        # ... and the reparsed program still computes.
+        fabric = controller.fabric
+        fabric.write_word(0, 0, 0x9, 4)
+        fabric.write_word(0, 1, 0x6, 4)
+        controller.run(reparsed)
+        assert fabric.read_word(0, 2, 5) == 0xF
+
+    def test_program_size(self):
+        program = emit_serial_add(0, 0, 1, 2, 8, SCRATCH)
+        # 1 INIT + 1 WR + 12 NORs per bit.
+        assert len(program) == 2 + 12 * 8
+
+    def test_validation(self):
+        with pytest.raises(CrossbarError):
+            emit_serial_add(0, 0, 1, 2, 0, SCRATCH)
+        with pytest.raises(CrossbarError):
+            emit_serial_add(0, 0, 1, 2, 8, SCRATCH[:5])
+        with pytest.raises(CrossbarError):
+            emit_serial_add(0, 0, 1, 2, 8, SCRATCH, start_col=2)
+
+
+class TestCopyProgram:
+    def test_replay_copies_with_shift(self, controller):
+        fabric = controller.fabric
+        fabric.write_word(0, 3, 0b1011, 4)
+        controller.run(emit_copy_shifted(0, 3, 1, 5, width=4, shift=3))
+        assert fabric.read_word(1, 5, 7) == 0b1011 << 3
+
+    def test_validation(self):
+        with pytest.raises(CrossbarError):
+            emit_copy_shifted(0, 0, 1, 1, width=0)
+        with pytest.raises(CrossbarError):
+            emit_copy_shifted(0, 0, 1, 1, width=4, shift=-1)

@@ -1,0 +1,192 @@
+"""Unit tests for the IR optimiser (repro.compiler.optimizer)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler import KernelBuilder, evaluate, exact_reference
+from repro.compiler.ir import OpKind
+from repro.compiler.optimizer import optimize
+from repro.core.engine import APIMEngine
+from repro.errors import WorkloadError
+
+
+def _outputs_match(original, optimized, inputs):
+    want = exact_reference(original, inputs)
+    got = exact_reference(optimized, inputs)
+    assert set(want) == set(got)
+    for name in want:
+        assert np.array_equal(want[name], got[name]), name
+
+
+class TestConstantFolding:
+    def test_folds_constant_arithmetic(self):
+        b = KernelBuilder("k")
+        x = b.input("x")
+        c = b.add(b.const(3), b.const(4), width=32)   # = 7, foldable
+        b.output("out", b.mul(x, c))
+        optimized, report = optimize(b.build())
+        assert report.folded_constants >= 1
+        consts = [
+            n for n in optimized.nodes if n.kind is OpKind.CONST
+        ]
+        assert any(n.attrs["value"] == 7 for n in consts)
+        assert optimized.op_counts().get(OpKind.ADD, 0) == 0
+
+    def test_folding_preserves_semantics(self, rng):
+        b = KernelBuilder("k")
+        x = b.input("x")
+        c = b.mul(b.const(5), b.const(6))
+        total = b.add(x, c, width=48)
+        b.output("out", b.shr(total, 2))
+        original = b.build()
+        optimized, _ = optimize(original)
+        _outputs_match(original, optimized,
+                       {"x": rng.integers(0, 1 << 20, 100)})
+
+    def test_folds_chains_to_fixed_point(self):
+        b = KernelBuilder("k")
+        x = b.input("x")
+        c1 = b.add(b.const(1), b.const(2), width=32)
+        c2 = b.add(c1, b.const(3), width=32)       # needs a second pass
+        b.output("out", b.add(x, c2, width=48))
+        optimized, report = optimize(b.build())
+        assert report.folded_constants == 2
+        assert optimized.arithmetic_ops() == 1  # only x + 6 remains
+
+
+class TestCommonSubexpressions:
+    def test_identical_multiplies_merge(self, rng):
+        b = KernelBuilder("k")
+        x = b.input("x")
+        c = b.const(7)
+        p1 = b.mul(x, c)
+        p2 = b.mul(x, c)  # identical
+        b.output("out", b.add(p1, p2, width=48))
+        original = b.build()
+        optimized, report = optimize(original)
+        assert report.eliminated_subexpressions == 1
+        assert optimized.op_counts()[OpKind.MUL] == 1
+        _outputs_match(original, optimized,
+                       {"x": rng.integers(0, 1 << 16, 64)})
+
+    def test_different_widths_not_merged(self):
+        b = KernelBuilder("k")
+        x = b.input("x")
+        y = b.input("y")
+        a1 = b.add(x, y, width=32)
+        a2 = b.add(x, y, width=48)  # different accumulator width
+        b.output("o1", a1)
+        b.output("o2", a2)
+        optimized, report = optimize(b.build())
+        assert report.eliminated_subexpressions == 0
+        assert optimized.op_counts()[OpKind.ADD] == 2
+
+    def test_duplicate_chains_collapse(self, rng):
+        b = KernelBuilder("k")
+        x = b.input("x")
+        c = b.const(9)
+        chain1 = b.add(b.mul(x, c), x, width=48)
+        chain2 = b.add(b.mul(x, c), x, width=48)
+        b.output("out", b.add(chain1, chain2, width=50))
+        original = b.build()
+        optimized, report = optimize(original)
+        assert report.eliminated_subexpressions == 2
+        _outputs_match(original, optimized,
+                       {"x": rng.integers(0, 1 << 16, 64)})
+
+
+class TestStrengthReduction:
+    def test_power_of_two_multiply_becomes_shift(self, rng):
+        b = KernelBuilder("k")
+        x = b.input("x")
+        b.output("out", b.mul(x, b.const(8)))
+        original = b.build()
+        optimized, report = optimize(original)
+        assert report.strength_reduced == 1
+        assert optimized.op_counts().get(OpKind.MUL, 0) == 0
+        assert optimized.op_counts()[OpKind.SHL] == 1
+        _outputs_match(original, optimized,
+                       {"x": rng.integers(0, 1 << 20, 100)})
+
+    def test_non_power_of_two_untouched(self):
+        b = KernelBuilder("k")
+        x = b.input("x")
+        b.output("out", b.mul(x, b.const(6)))
+        _, report = optimize(b.build())
+        assert report.strength_reduced == 0
+
+    def test_constant_position_independent(self, rng):
+        b = KernelBuilder("k")
+        x = b.input("x")
+        b.output("out", b.mul(b.const(16), x))  # constant first
+        original = b.build()
+        optimized, report = optimize(original)
+        assert report.strength_reduced == 1
+        _outputs_match(original, optimized,
+                       {"x": rng.integers(0, 1 << 20, 100)})
+
+    def test_reduction_lowers_apim_cost(self, rng):
+        b = KernelBuilder("k")
+        x = b.input("x")
+        b.output("out", b.mul(x, b.const(1 << 12)))
+        original = b.build()
+        optimized, _ = optimize(original)
+        inputs = {"x": rng.integers(0, 1 << 16, 256)}
+        e1, e2 = APIMEngine(), APIMEngine()
+        r1 = evaluate(original, e1, inputs)["out"]
+        r2 = evaluate(optimized, e2, inputs)["out"]
+        assert np.array_equal(r1, r2)
+        assert e2.total_cost.cycles < e1.total_cost.cycles
+        assert e2.mul_count == 0  # the multiply became an interconnect shift
+
+
+class TestPipeline:
+    def test_engine_results_identical_after_optimization(self, rng):
+        # The full pipeline on a realistic kernel: fold + reduce + CSE.
+        b = KernelBuilder("mixed")
+        x = b.input("x")
+        y = b.input("y")
+        scale = b.mul(b.const(2), b.const(16))      # folds to 32 = 2^5
+        sx = b.mul(x, scale)                        # then strength-reduces
+        t1 = b.add(sx, y, width=48)
+        t2 = b.add(sx, y, width=48)                 # CSE
+        b.output("out", b.add(t1, t2, width=50))
+        original = b.build()
+        optimized, report = optimize(original)
+        assert report.folded_constants >= 1
+        assert report.strength_reduced >= 1
+        assert report.eliminated_subexpressions >= 1
+        inputs = {
+            "x": rng.integers(0, 1 << 16, 128),
+            "y": rng.integers(0, 1 << 16, 128),
+        }
+        engine = APIMEngine()
+        got = evaluate(optimized, engine, inputs)["out"]
+        want = exact_reference(original, inputs)["out"]
+        assert np.array_equal(got, want)
+
+    def test_inputs_survive_even_if_unused_after_rewrite(self):
+        b = KernelBuilder("k")
+        x = b.input("x")
+        b.input("unused")
+        b.output("out", x)
+        optimized, _ = optimize(b.build())
+        assert set(optimized.inputs) == {"x", "unused"}
+
+    def test_idempotent(self, rng):
+        b = KernelBuilder("k")
+        x = b.input("x")
+        b.output("out", b.add(b.mul(x, b.const(8)), x, width=48))
+        once, _ = optimize(b.build())
+        twice, report = optimize(once)
+        assert report.total_changes == 0
+        assert len(twice) == len(once)
+
+    def test_invalid_iterations(self):
+        b = KernelBuilder("k")
+        x = b.input("x")
+        b.output("out", x)
+        with pytest.raises(WorkloadError):
+            optimize(b.build(), max_iterations=0)

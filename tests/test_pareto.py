@@ -1,0 +1,103 @@
+"""Unit tests for Pareto-frontier analysis (repro.analysis.pareto)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import Table1Cell, Table1Result
+from repro.analysis.pareto import operating_point, pareto_frontier
+from repro.errors import ConfigurationError
+
+
+def _grid(rows: dict[str, list[tuple[int, float, float]]]) -> Table1Result:
+    """Build a Table1Result from (m, qol, edp) triples."""
+    cells = {
+        name: tuple(
+            Table1Cell(
+                workload=name,
+                relax_bits=m,
+                qol_percent=qol,
+                edp_improvement=edp,
+                qos_ok=qol <= 10.0,
+            )
+            for m, qol, edp in triples
+        )
+        for name, triples in rows.items()
+    }
+    levels = tuple(t[0] for t in next(iter(rows.values())))
+    return Table1Result(levels=levels, dataset_bytes=1 << 30, cells=cells)
+
+
+MONOTONE = _grid(
+    {"App": [(0, 0.0, 100.0), (8, 1.0, 200.0), (16, 5.0, 300.0),
+             (32, 20.0, 400.0)]}
+)
+
+WITH_DOMINATED = _grid(
+    {
+        "App": [
+            (0, 0.0, 100.0),
+            (8, 2.0, 150.0),
+            (16, 1.0, 250.0),   # dominates the m=8 point
+            (32, 9.0, 400.0),
+        ]
+    }
+)
+
+
+class TestParetoFrontier:
+    def test_monotone_grid_entirely_on_frontier(self):
+        frontier = pareto_frontier(MONOTONE, "App")
+        assert [p.relax_bits for p in frontier] == [0, 8, 16, 32]
+
+    def test_dominated_point_filtered(self):
+        frontier = pareto_frontier(WITH_DOMINATED, "App")
+        assert [p.relax_bits for p in frontier] == [0, 16, 32]
+
+    def test_sorted_by_quality(self):
+        frontier = pareto_frontier(WITH_DOMINATED, "App")
+        qols = [p.qol_percent for p in frontier]
+        assert qols == sorted(qols)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pareto_frontier(MONOTONE, "Ghost")
+
+
+class TestOperatingPoint:
+    def test_picks_most_efficient_within_budget(self):
+        point = operating_point(MONOTONE, "App", max_qol_percent=5.0)
+        assert point.relax_bits == 16
+
+    def test_zero_budget_returns_exact(self):
+        point = operating_point(MONOTONE, "App", max_qol_percent=0.0)
+        assert point.relax_bits == 0
+
+    def test_generous_budget_returns_top(self):
+        point = operating_point(MONOTONE, "App", max_qol_percent=100.0)
+        assert point.relax_bits == 32
+
+    def test_dominated_point_never_selected(self):
+        point = operating_point(WITH_DOMINATED, "App", max_qol_percent=2.5)
+        assert point.relax_bits == 16  # not the dominated m=8
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            operating_point(MONOTONE, "App", max_qol_percent=-1.0)
+
+    def test_real_grid_round_trip(self):
+        """On an actual Table-1 run the frontier matches the tuner's pick
+        at the QoS budget."""
+        from repro.analysis.experiments import run_table1
+        from repro.workloads import workload_by_name
+
+        grid = run_table1(
+            workloads=[workload_by_name("Sobel")],
+            levels=(0, 16, 24, 32),
+            tile_elements=1 << 10,
+        )
+        frontier = pareto_frontier(grid, "Sobel")
+        assert frontier  # never empty: exact mode is never dominated on QoL
+        best = operating_point(grid, "Sobel", max_qol_percent=10.0)
+        # The chosen point meets the paper's QoS bar by construction.
+        assert best.qol_percent <= 10.0

@@ -1,0 +1,144 @@
+"""Tests for power analysis, the NDP baseline and error statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.gpu import GPUModel
+from repro.baselines.neardata import NDPConfig, NDPModel
+from repro.core.config import default_config
+from repro.core.engine import APIMEngine
+from repro.core.statistics import (
+    expected_abs_error_bound,
+    measure_error_moments,
+    per_bit_error_probability,
+)
+from repro.errors import ApproximationError, ConfigurationError
+from repro.runtime.power import PowerAnalysis
+from repro.units import GIB, MIB
+from repro.workloads import workload_by_name
+
+
+class TestPowerAnalysis:
+    @pytest.fixture(scope="class")
+    def report(self):
+        workload = workload_by_name("Robert")
+        data = workload.generate(1 << 12, np.random.default_rng(0))
+        engine = APIMEngine()
+        workload.run(engine, data)
+        analysis = PowerAnalysis(default_config())
+        return analysis.report(engine.ledger, dataset_bytes=1 << 14)
+
+    def test_phases_present(self, report):
+        assert {p.phase for p in report.phases} >= {"multiply", "add"}
+
+    def test_phase_power_positive(self, report):
+        for phase in report.phases:
+            if phase.time > 0:
+                assert phase.watts > 0
+
+    def test_average_below_peak(self, report):
+        assert 0 < report.average_watts <= report.peak_watts * 1.01
+
+    def test_phase_lookup(self, report):
+        assert report.phase("multiply").energy > 0
+        with pytest.raises(ConfigurationError):
+            report.phase("teleport")
+
+    def test_peak_power_scales_with_dataset(self):
+        analysis = PowerAnalysis()
+        assert analysis.peak_power(GIB) > analysis.peak_power(32 * MIB)
+
+    def test_one_gib_peak_is_substantial(self):
+        # 20k lanes at ~1 W/klane: a full-rate 1 GiB APIM unit draws far
+        # more than a DIMM socket offers — the throttling knob matters.
+        analysis = PowerAnalysis()
+        assert analysis.peak_power(GIB) > analysis.budget_watts
+
+    def test_max_lanes_within_budget(self):
+        analysis = PowerAnalysis()
+        lanes = analysis.max_lanes_within_budget(GIB)
+        assert 0 < lanes < default_config().parallel_lanes(GIB)
+        blocks = default_config().blocks_for(GIB)
+        static = blocks * default_config().p_static_per_block
+        assert lanes * analysis.lane_power() + static <= analysis.budget_watts
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PowerAnalysis(budget_watts=0)
+
+
+class TestNDPBaseline:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        return workload_by_name("Robert").profile()
+
+    def test_estimate_positive(self, profile):
+        est = NDPModel().estimate(profile, 256 * MIB)
+        assert est.time > 0 and est.energy > 0
+
+    def test_no_translation_penalty(self, profile):
+        est = NDPModel().estimate(profile, GIB)
+        assert "walk_time" not in est.breakdown
+
+    def test_paper_ordering_at_scale(self, profile):
+        """Intro's ranking on memory-bound kernels at 1 GB: near-data beats
+        the GPU on EDP, and APIM beats near-data."""
+        from repro.runtime.comparison import ComparisonHarness
+
+        gpu = GPUModel().estimate(profile, GIB)
+        ndp = NDPModel().estimate(profile, GIB)
+        assert ndp.edp < gpu.edp
+        harness = ComparisonHarness(tile_elements=1 << 11)
+        apim_time, apim_energy, _ = harness.apim_estimate(
+            workload_by_name("Robert"), GIB
+        )
+        assert apim_energy * apim_time < ndp.edp
+
+    def test_ndp_pays_static_logic_overhead(self, profile):
+        """More logic-layer modules: faster, but the added units burn
+        standing power — the paper's energy caveat about near-data."""
+        few = NDPModel(NDPConfig(modules=2)).estimate(profile, GIB)
+        many = NDPModel(NDPConfig(modules=32)).estimate(profile, GIB)
+        assert many.time < few.time
+        few_static_share = few.breakdown["e_static"] / few.energy
+        many_static_share = many.breakdown["e_static"] / many.energy
+        assert many_static_share > few_static_share
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NDPConfig(modules=0)
+        with pytest.raises(ConfigurationError):
+            NDPConfig(internal_bandwidth_scale=0.5)
+
+
+class TestErrorStatistics:
+    def test_per_bit_probability_is_quarter(self):
+        assert per_bit_error_probability() == 0.25
+
+    def test_measured_per_bit_rate_matches_theory(self):
+        moments = measure_error_moments(relax_bits=16, width=40)
+        assert moments["per_bit_rate"] == pytest.approx(0.25, abs=0.02)
+
+    def test_error_is_zero_mean(self):
+        moments = measure_error_moments(relax_bits=20, width=40)
+        assert abs(moments["mean"]) < moments["mean_abs"] / 10
+
+    def test_mean_abs_error_within_bound(self):
+        for m in (4, 8, 16, 24):
+            moments = measure_error_moments(relax_bits=m, width=40)
+            assert moments["mean_abs"] <= expected_abs_error_bound(m)
+            # ... and the bound is tight to within a small factor.
+            assert moments["mean_abs"] > expected_abs_error_bound(m) / 4
+
+    def test_zero_relax_zero_error(self):
+        moments = measure_error_moments(relax_bits=0, width=40)
+        assert moments["mean_abs"] == 0.0
+        assert expected_abs_error_bound(0) == 0.0
+
+    def test_bound_validation(self):
+        with pytest.raises(ApproximationError):
+            expected_abs_error_bound(-1)
+        with pytest.raises(ApproximationError):
+            measure_error_moments(relax_bits=10, width=8)

@@ -1,0 +1,169 @@
+"""Property-based tests over the extension layers (hypothesis).
+
+Random-program generators probe the compiler and controller the way
+hand-written cases cannot: arbitrary DAG shapes through the optimiser,
+arbitrary command sequences through the assembler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import KernelBuilder, exact_reference, optimize
+from repro.crossbar.controller import Command, assemble, format_command
+from repro.device.endurance import RotatingAllocator
+
+
+# ---------------------------------------------------------------------------
+# random kernel generation
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def random_kernels(draw):
+    """A random well-formed kernel over two inputs.
+
+    Grows a DAG by repeatedly applying a random operation to randomly
+    chosen existing nodes; always ends with a single output over the last
+    node (keeping every generated node live through a final SUM).
+    """
+    builder = KernelBuilder("random")
+    nodes = [builder.input("x"), builder.input("y")]
+    n_ops = draw(st.integers(min_value=1, max_value=12))
+    for _ in range(n_ops):
+        kind = draw(st.sampled_from(["add", "sub", "mul", "shl", "shr",
+                                     "const_mul"]))
+        a = draw(st.sampled_from(nodes))
+        if kind == "add":
+            b = draw(st.sampled_from(nodes))
+            nodes.append(builder.add(a, b, width=52))
+        elif kind == "sub":
+            b = draw(st.sampled_from(nodes))
+            nodes.append(builder.sub(a, b, width=52))
+        elif kind == "mul":
+            value = draw(st.integers(min_value=0, max_value=255))
+            nodes.append(builder.mul(a, builder.const(value)))
+        elif kind == "const_mul":
+            exponent = draw(st.integers(min_value=0, max_value=6))
+            nodes.append(builder.mul(a, builder.const(1 << exponent)))
+        elif kind == "shl":
+            nodes.append(builder.shl(a, draw(st.integers(0, 4))))
+        else:
+            nodes.append(builder.shr(a, draw(st.integers(0, 4))))
+    # Keep everything live so the builder accepts the kernel.
+    builder.output("out", builder.sum(nodes, width=58))
+    return builder.build()
+
+
+class TestOptimizerProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(random_kernels(), st.integers(min_value=0, max_value=10))
+    def test_optimisation_preserves_semantics(self, kernel, seed):
+        rng = np.random.default_rng(seed)
+        inputs = {
+            "x": rng.integers(0, 1 << 10, 16),
+            "y": rng.integers(0, 1 << 10, 16),
+        }
+        optimized, _ = optimize(kernel)
+        want = exact_reference(kernel, inputs)["out"]
+        got = exact_reference(optimized, inputs)["out"]
+        assert np.array_equal(want, got)
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_kernels())
+    def test_optimisation_never_grows_arithmetic(self, kernel):
+        optimized, _ = optimize(kernel)
+        assert optimized.arithmetic_ops() <= kernel.arithmetic_ops()
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_kernels())
+    def test_optimised_kernel_stays_topological(self, kernel):
+        optimized, _ = optimize(kernel)
+        for node in optimized.nodes:
+            assert all(op < node.id for op in node.operands)
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_kernels())
+    def test_signature_preserved(self, kernel):
+        optimized, _ = optimize(kernel)
+        assert set(optimized.inputs) == set(kernel.inputs)
+        assert set(optimized.outputs) == set(kernel.outputs)
+
+
+# ---------------------------------------------------------------------------
+# controller assembly round-trips
+# ---------------------------------------------------------------------------
+
+cells = st.tuples(
+    st.integers(min_value=0, max_value=63),
+    st.integers(min_value=0, max_value=63),
+)
+
+commands = st.one_of(
+    st.builds(
+        lambda b, r, v, w: Command("WR", (b, r, v % (1 << w), w)),
+        st.integers(0, 3), st.integers(0, 63),
+        st.integers(0, (1 << 16) - 1), st.integers(1, 16),
+    ),
+    st.builds(
+        lambda b, r, w: Command("RD", (b, r, w)),
+        st.integers(0, 3), st.integers(0, 63), st.integers(1, 16),
+    ),
+    st.builds(lambda b, r: Command("CLR", (b, r)),
+              st.integers(0, 3), st.integers(0, 63)),
+    st.builds(
+        lambda b, cs: Command("INIT", (b, tuple(cs))),
+        st.integers(0, 3), st.lists(cells, min_size=1, max_size=5),
+    ),
+    st.builds(
+        lambda b, ins, out: Command("NOR", (b, tuple(ins), out)),
+        st.integers(0, 3), st.lists(cells, min_size=1, max_size=3), cells,
+    ),
+    st.builds(
+        lambda sb, sr, db, dr, w, s, sh: Command(
+            "CPY", (sb, sr, db, dr, w, s, sh)
+        ),
+        st.integers(0, 3), st.integers(0, 63), st.integers(0, 3),
+        st.integers(0, 63), st.integers(1, 32), st.integers(0, 15),
+        st.booleans(),
+    ),
+    st.builds(
+        lambda b, c, rows, out: Command("MAJ", (b, c, rows, out)),
+        st.integers(0, 3), st.integers(0, 63),
+        st.tuples(st.integers(0, 63), st.integers(0, 63),
+                  st.integers(0, 63)),
+        cells,
+    ),
+    st.builds(lambda t: Command("TICK", (t,)), st.integers(0, 1000)),
+)
+
+
+class TestControllerProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(commands)
+    def test_assembly_round_trip(self, command):
+        assert assemble(format_command(command)) == command
+
+
+class TestAllocatorProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=64),
+        st.lists(st.integers(min_value=1, max_value=4), min_size=1,
+                 max_size=30),
+    )
+    def test_rotating_allocator_never_double_allocates(self, rows, sizes):
+        allocator = RotatingAllocator(rows)
+        outstanding: set[int] = set()
+        for size in sizes:
+            if size > allocator.available:
+                continue
+            taken = allocator.alloc(size)
+            assert not (set(taken) & outstanding)
+            outstanding.update(taken)
+            if len(outstanding) > rows // 2:
+                allocator.free(sorted(outstanding))
+                outstanding.clear()

