@@ -59,21 +59,21 @@ def test_fault_rate_vs_arithmetic_errors(benchmark, bench_rounds):
                 fabric = BlockedCrossbar(2, 32, 20)
                 adder = StructuralAdder(fabric)
                 pool = RowPool(32, reserved=[0, 1, 2])
-                injector = None
                 if rate:
-                    injector = FaultInjector(
-                        VariationModel(stuck_off_rate=rate), seed=trial
+                    # Pins the faults and keeps them asserted through every
+                    # MAGIC write via the fabric's post-op hook — no manual
+                    # enforce() calls between operations.
+                    fabric.attach_fault_injector(
+                        0,
+                        FaultInjector(
+                            VariationModel(stuck_off_rate=rate), seed=trial
+                        ),
                     )
-                    injector.inject(fabric.block(0))
                 a = int(rng.integers(0, 256))
                 b = int(rng.integers(0, 256))
                 fabric.write_word(0, 0, a, 8)
                 fabric.write_word(0, 1, b, 8)
-                if injector:
-                    injector.enforce(fabric.block(0))
                 adder.serial_add(0, 0, 1, 2, 8, pool)
-                if injector:
-                    injector.enforce(fabric.block(0))
                 if fabric.read_word(0, 2, 9) != a + b:
                     wrong += 1
             rows.append((rate, wrong / trials))

@@ -43,6 +43,7 @@ class AreaReport:
     decoders_mm2: float
     sense_amps_mm2: float
     interconnect_mm2: float
+    spare_rows_mm2: float = 0.0
 
     @property
     def total_mm2(self) -> float:
@@ -52,6 +53,7 @@ class AreaReport:
             + self.decoders_mm2
             + self.sense_amps_mm2
             + self.interconnect_mm2
+            + self.spare_rows_mm2
         )
 
     @property
@@ -92,11 +94,19 @@ class AreaModel:
             * periphery.TRANSISTORS_PER_SWITCH
         )
         sa_t = cfg.block_cols * SA_TRANSISTORS  # one SA bank, shared
+        # Spare-row redundancy budget (resilience layer): extra wordlines
+        # of cells per block plus their lines on the shared row decoder.
+        spare_rows = cfg.spare_rows_per_block
+        spare_f2 = (
+            num_blocks * spare_rows * cfg.block_cols * CELL_F2
+            + spare_rows * periphery.TRANSISTORS_PER_LINE * TRANSISTOR_F2
+        )
         return AreaReport(
             cells_mm2=self._f2_to_mm2(cells_f2),
             decoders_mm2=self._f2_to_mm2(decoder_t * TRANSISTOR_F2),
             sense_amps_mm2=self._f2_to_mm2(sa_t * TRANSISTOR_F2),
             interconnect_mm2=self._f2_to_mm2(switch_t * TRANSISTOR_F2),
+            spare_rows_mm2=self._f2_to_mm2(spare_f2),
         )
 
     def per_array_controller_area(self, num_blocks: int) -> float:

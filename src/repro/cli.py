@@ -8,6 +8,7 @@ Commands:
 - ``run WORKLOAD [-m RELAX]`` — execute one workload at a given
   approximation level and print quality/cost.
 - ``sweep PARAM V1 V2 ...`` — sensitivity sweep of a model constant.
+- ``faults`` — stuck-cell rate x spare-budget resilience campaign.
 - ``workloads`` — list available workloads.
 """
 
@@ -85,6 +86,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--levels", type=int, nargs="+", default=[0, 16, 32])
     p.add_argument("--tile", type=int, default=1 << 11)
     p.add_argument("-o", "--output", default=None, help="write CSV to a file")
+
+    p = sub.add_parser(
+        "faults", help="fault-injection campaign: yield vs spare budget"
+    )
+    p.add_argument(
+        "--rates", type=float, nargs="+", default=[0.0, 0.001, 0.005],
+        help="per-cell stuck-fault rates to sweep",
+    )
+    p.add_argument(
+        "--spare-fractions", type=float, nargs="+", default=[0.02, 0.1],
+        help="spare-row budgets (fraction of rows per block)",
+    )
+    p.add_argument("--trials", type=int, default=5, help="dies per point")
+    p.add_argument("--bits", type=int, default=8, help="operand width")
+    p.add_argument(
+        "--ops", type=int, default=4, help="multiplications per die"
+    )
+    p.add_argument("--seed", type=int, default=2017)
 
     sub.add_parser("workloads", help="list available workloads")
     return parser
@@ -182,6 +201,18 @@ def main(argv: list[str] | None = None) -> int:
                   f"({len(result.points)} points)")
         else:
             print(text, end="")
+    elif args.command == "faults":
+        from repro.resilience import campaign_table, run_fault_campaign
+
+        points = run_fault_campaign(
+            list(args.rates),
+            list(args.spare_fractions),
+            trials=args.trials,
+            word_bits=args.bits,
+            ops_per_trial=args.ops,
+            seed=args.seed,
+        )
+        print(campaign_table(points))
     elif args.command == "workloads":
         print(_cmd_workloads())
     return 0

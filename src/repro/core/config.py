@@ -35,6 +35,7 @@ Energy derivations (order-of-magnitude, documented per field):
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigurationError
@@ -132,6 +133,14 @@ class APIMConfig:
     reduction, so on average half the involved blocks compute.
     """
 
+    spare_row_fraction: float = 0.02
+    """Fraction of each block's wordlines reserved as spare rows.
+
+    The resilience layer retires rows with stuck cells onto this pool
+    (CONTRA-style area budget: redundancy is bought at design time and the
+    area model charges for it).  2% tracks commodity RRAM/DRAM redundancy
+    provisioning; raise it for harsher fault-rate corners."""
+
     def __post_init__(self) -> None:
         self.validate()
 
@@ -152,6 +161,11 @@ class APIMConfig:
         if dataset_bytes <= 0:
             raise ConfigurationError("dataset size must be positive")
         return max(1, int(-(-dataset_bytes // self.block_bytes)))
+
+    @property
+    def spare_rows_per_block(self) -> int:
+        """Spare wordlines reserved per block under the spare budget."""
+        return math.ceil(self.block_rows * self.spare_row_fraction)
 
     def parallel_lanes(self, dataset_bytes: float) -> int:
         """Concurrent word-level operations for a resident dataset.
@@ -200,6 +214,11 @@ class APIMConfig:
             raise ConfigurationError("r_on must be below r_off")
         if not 0 < self.processing_block_fraction <= 1:
             raise ConfigurationError("processing_block_fraction must be in (0, 1]")
+        if not 0 <= self.spare_row_fraction < 0.5:
+            raise ConfigurationError(
+                "spare_row_fraction must be in [0, 0.5): spares are "
+                "redundancy, not the majority of the array"
+            )
         if self.word_bits > 64:
             raise ConfigurationError("word_bits above 64 is not supported")
 

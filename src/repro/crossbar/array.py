@@ -53,6 +53,10 @@ class CrossbarArray:
         self._state = np.zeros((rows, cols), dtype=np.float64)
         self.write_count = 0
         self.read_count = 0
+        # Stuck cells: (row, col) -> frozen state.  Writes to pinned cells
+        # are silently ineffective, as on real hardware with forming-time
+        # stuck-at faults; see repro.device.variation.FaultInjector.
+        self._pinned: dict[tuple[int, int], float] = {}
 
     # -- validation ----------------------------------------------------------
 
@@ -85,19 +89,61 @@ class CrossbarArray:
         return float(self._state[row, col])
 
     def set_value(self, row: int, col: int, bit: int) -> None:
-        """Driver write of one cell to a full logic level."""
+        """Driver write of one cell to a full logic level.
+
+        Writing a pinned (stuck) cell consumes a write pulse but leaves the
+        device at its stuck level — the silent failure mode the resilience
+        layer exists to detect.
+        """
         if bit not in (0, 1):
             raise CrossbarError(f"bit must be 0 or 1, got {bit!r}")
         self._check(row, col)
-        self._state[row, col] = 1.0 if bit else 0.0
+        if (row, col) not in self._pinned:
+            self._state[row, col] = 1.0 if bit else 0.0
         self.write_count += 1
 
     def set_state(self, row: int, col: int, state: float) -> None:
-        """Directly set a raw device state (MAGIC engine / tests)."""
+        """Directly set a raw device state (MAGIC engine / tests).
+
+        Pinned cells keep their stuck level, as in :meth:`set_value`.
+        """
         if not 0.0 <= state <= 1.0:
             raise CrossbarError(f"state {state} outside [0, 1]")
         self._check(row, col)
-        self._state[row, col] = state
+        if (row, col) not in self._pinned:
+            self._state[row, col] = state
+
+    # -- stuck-at faults -------------------------------------------------------
+
+    def pin_cell(self, row: int, col: int, level: float) -> None:
+        """Freeze one cell at ``level`` (stuck-at fault).
+
+        All subsequent writes through any path (driver, MAGIC, bulk clear,
+        restore) leave the cell at ``level`` until :meth:`unpin_cell`.
+        """
+        if not 0.0 <= level <= 1.0:
+            raise CrossbarError(f"stuck level {level} outside [0, 1]")
+        self._check(row, col)
+        self._pinned[(row, col)] = float(level)
+        self._state[row, col] = float(level)
+
+    def unpin_cell(self, row: int, col: int) -> None:
+        """Release a pinned cell (repair-lab use; real faults are forever)."""
+        self._check(row, col)
+        self._pinned.pop((row, col), None)
+
+    def is_pinned(self, row: int, col: int) -> bool:
+        """Whether the cell is frozen by a stuck-at fault."""
+        self._check(row, col)
+        return (row, col) in self._pinned
+
+    def pinned_cells(self) -> dict[tuple[int, int], float]:
+        """Copy of the stuck-cell map (ground truth for fault modelling)."""
+        return dict(self._pinned)
+
+    def _reassert_pins(self) -> None:
+        for (row, col), level in self._pinned.items():
+            self._state[row, col] = level
 
     # -- word access -----------------------------------------------------------
 
@@ -143,11 +189,33 @@ class CrossbarArray:
         self._check_row(row)
         self._state[row, :] = 0.0
         self.write_count += self.cols
+        self._reassert_pins()
 
     def clear(self) -> None:
         """Reset the entire block."""
         self._state[:, :] = 0.0
         self.write_count += self.rows * self.cols
+        self._reassert_pins()
+
+    def fill(self, bit: int) -> None:
+        """Bulk driver write of every cell to one logic level.
+
+        Used by the BIST march patterns; costs one write pulse per cell.
+        """
+        if bit not in (0, 1):
+            raise CrossbarError(f"bit must be 0 or 1, got {bit!r}")
+        self._state[:, :] = 1.0 if bit else 0.0
+        self.write_count += self.rows * self.cols
+        self._reassert_pins()
+
+    def fill_row(self, row: int, bit: int) -> None:
+        """Bulk driver write of one row to a logic level (BIST row scans)."""
+        if bit not in (0, 1):
+            raise CrossbarError(f"bit must be 0 or 1, got {bit!r}")
+        self._check_row(row)
+        self._state[row, :] = 1.0 if bit else 0.0
+        self.write_count += self.cols
+        self._reassert_pins()
 
     # -- electrical view ---------------------------------------------------------
 
@@ -168,6 +236,7 @@ class CrossbarArray:
                 f"({self.rows}, {self.cols})"
             )
         self._state = snapshot.copy()
+        self._reassert_pins()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CrossbarArray({self.name!r}, {self.rows}x{self.cols})"

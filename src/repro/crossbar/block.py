@@ -24,7 +24,8 @@ All blocks share row/column decoders and a single global clock; per-block
 
 from __future__ import annotations
 
-from typing import Sequence
+import math
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.core.cost import Cost
 from repro.crossbar.array import CrossbarArray
@@ -32,9 +33,70 @@ from repro.crossbar.interconnect import ConfigurableInterconnect
 from repro.crossbar.magic import MagicEngine
 from repro.crossbar.sense_amp import SenseAmplifier
 from repro.device.vteam import VTEAMModel
-from repro.errors import CrossbarError
+from repro.errors import CrossbarError, RecoveryError
 
-__all__ = ["BlockedCrossbar"]
+if TYPE_CHECKING:  # device.variation type-imports crossbar; avoid the cycle
+    from repro.device.variation import FaultInjector
+
+__all__ = ["BlockedCrossbar", "RemapTable", "SpareRowPool"]
+
+
+class SpareRowPool:
+    """A block's reserved spare rows, consumed one per retirement.
+
+    The pool is the CONTRA-style area budget made concrete: a fixed
+    fraction of each block's wordlines is set aside at manufacturing time
+    and handed out by the controller when BIST condemns a data row.
+    """
+
+    def __init__(self, rows: Sequence[int]) -> None:
+        self._free = list(rows)
+        self.capacity = len(self._free)
+
+    def take(self) -> int:
+        """Consume one spare; raises :class:`RecoveryError` when exhausted."""
+        if not self._free:
+            raise RecoveryError(
+                f"spare-row pool exhausted ({self.capacity} spares used)"
+            )
+        return self._free.pop(0)
+
+    @property
+    def available(self) -> int:
+        """Spares still unused."""
+        return len(self._free)
+
+    @property
+    def used(self) -> int:
+        """Spares already consumed by retirements."""
+        return self.capacity - len(self._free)
+
+
+class RemapTable:
+    """Logical-row to physical-row indirection, one entry per retirement.
+
+    The table sits (conceptually) in the row decoder: an access to a
+    retired logical row is steered to its replacement physical row.  Rows
+    without an entry map to themselves.
+    """
+
+    def __init__(self) -> None:
+        self._map: dict[tuple[int, int], int] = {}
+
+    def resolve(self, block: int, row: int) -> int:
+        """Physical row currently backing ``(block, row)``."""
+        return self._map.get((block, row), row)
+
+    def retire(self, block: int, row: int, physical: int) -> None:
+        """Point logical ``row`` of ``block`` at a new physical row."""
+        self._map[(block, row)] = physical
+
+    def entries(self) -> dict[tuple[int, int], int]:
+        """Copy of the remap entries ((block, logical) -> physical)."""
+        return dict(self._map)
+
+    def __len__(self) -> int:
+        return len(self._map)
 
 
 class BlockedCrossbar:
@@ -72,6 +134,11 @@ class BlockedCrossbar:
         self.rows = rows
         self.cols = cols
         self._extra_cost = Cost()
+        self._post_op_hooks: list[Callable[[], None]] = []
+        self._in_post_op_hook = False
+        self._spares: list[SpareRowPool] | None = None
+        self.spare_rows = 0
+        self.remap = RemapTable()
 
     # -- clocking ----------------------------------------------------------
 
@@ -136,6 +203,48 @@ class BlockedCrossbar:
         target = self.cycles + cycles
         for engine in self.engines:
             engine.sync_to(target)
+        self._fire_post_op_hooks()
+
+    # -- post-op hooks ------------------------------------------------------
+
+    def add_post_op_hook(self, hook: Callable[[], None]) -> None:
+        """Register a callback fired after every timed fabric operation.
+
+        Hooks run whenever the global clock advances and after zero-cycle
+        arranged moves — the operation boundaries of the fabric.  The fault
+        campaign uses this to keep injected stuck-at levels asserted through
+        MAGIC writes (see :meth:`attach_fault_injector`); instrumentation
+        (trace probes, online checkers) can hook in the same way.
+        """
+        self._post_op_hooks.append(hook)
+
+    def _fire_post_op_hooks(self) -> None:
+        if self._in_post_op_hook or not self._post_op_hooks:
+            return
+        self._in_post_op_hook = True
+        try:
+            for hook in self._post_op_hooks:
+                hook()
+        finally:
+            self._in_post_op_hook = False
+
+    def attach_fault_injector(
+        self, block_index: int, injector: "FaultInjector"
+    ) -> None:
+        """Make an injector's faults persistent on one block.
+
+        Draws the fault pattern if the injector has not injected yet, pins
+        every injected cell (writes to them become silently ineffective, as
+        on hardware) and registers a post-op hook that re-asserts the stuck
+        levels — so faults survive MAGIC writes without the caller
+        sprinkling ``injector.enforce`` between operations.
+        """
+        array = self.block(block_index)
+        if injector.injected:
+            injector.pin(array)
+        else:
+            injector.inject(array, pin=True)
+        self.add_post_op_hook(lambda: injector.enforce(array))
 
     # -- block access -----------------------------------------------------------
 
@@ -240,6 +349,7 @@ class BlockedCrossbar:
             # happened inside the producing NOR.
             dst.set_state(dst_row, dst_cols.start + offset, 1.0 if bit else 0.0)
         icn.record_transfer(width)
+        self._fire_post_op_hooks()
 
     # -- checkpointing -----------------------------------------------------------
 
@@ -275,14 +385,98 @@ class BlockedCrossbar:
                 block.restore(data[key])
             self.advance_clock(max(0, int(data["clock"][0]) - self.cycles))
 
+    # -- spare rows and repair ----------------------------------------------
+
+    def reserve_spares(self, fraction: float) -> int:
+        """Partition the top ``ceil(rows * fraction)`` rows of every block
+        into a :class:`SpareRowPool`, returning the per-block spare count.
+
+        Spares are a budgeted resource (the area model charges for them);
+        callers must keep data and scratch allocations below
+        :attr:`data_rows` once spares are reserved.  Re-reserving with the
+        same fraction is a no-op; changing the fraction after retirements
+        began is an error.
+        """
+        if not 0.0 <= fraction < 1.0:
+            raise CrossbarError(f"spare fraction {fraction} outside [0, 1)")
+        count = math.ceil(self.rows * fraction)
+        if self._spares is not None:
+            if count == self.spare_rows:
+                return count
+            if any(pool.used for pool in self._spares):
+                raise CrossbarError(
+                    "cannot resize the spare pool after retirements began"
+                )
+        if count >= self.rows:
+            raise CrossbarError(
+                f"spare fraction {fraction} leaves no data rows"
+            )
+        self._spares = [
+            SpareRowPool(range(self.rows - count, self.rows))
+            for _ in self.blocks
+        ]
+        self.spare_rows = count
+        return count
+
+    @property
+    def data_rows(self) -> int:
+        """Rows per block available to data/scratch (excludes spares)."""
+        return self.rows - self.spare_rows
+
+    def spare_pool(self, block: int) -> SpareRowPool:
+        """The spare pool of one block (after :meth:`reserve_spares`)."""
+        self._check_block(block)
+        if self._spares is None:
+            raise RecoveryError(
+                "no spare rows reserved; call reserve_spares() first"
+            )
+        return self._spares[block]
+
+    def resolve_row(self, block: int, row: int) -> int:
+        """Physical row currently backing a logical row (remap lookup)."""
+        self._check_block(block)
+        return self.remap.resolve(block, row)
+
+    def retire_row(self, block: int, row: int) -> int:
+        """Retire the physical row backing logical ``row`` onto a spare.
+
+        The readable contents of the dying row are driver-copied into the
+        spare (bits held by stuck cells are already lost — re-execution, not
+        the copy, restores them), the remap table is updated, and the new
+        physical row is returned.  Raises :class:`RecoveryError` when the
+        block's spare pool is exhausted.
+        """
+        self._check_block(block)
+        if not 0 <= row < self.rows:
+            raise CrossbarError(f"row {row} outside block ({self.rows} rows)")
+        old_physical = self.resolve_row(block, row)
+        spare = self.spare_pool(block).take()
+        array = self.blocks[block]
+        for col in range(self.cols):
+            array.set_value(spare, col, array.value(old_physical, col))
+        self.remap.retire(block, row, spare)
+        self.charge_writes(self.cols)
+        self.advance_clock(2)  # row read-out + driver rewrite
+        return spare
+
+    # -- DMA paths -----------------------------------------------------------
+
     def write_word(
         self, block: int, row: int, value: int, width: int, start_col: int = 0
     ) -> None:
-        """Load external data into a data block (DMA-style, not timed)."""
-        self.block(block).write_word(row, value, width, start_col)
+        """Load external data into a data block (DMA-style, not timed).
+
+        Logical rows resolve through the remap table, so retired rows stay
+        addressable at their original coordinates.
+        """
+        self.block(block).write_word(
+            self.resolve_row(block, row), value, width, start_col
+        )
 
     def read_word(
         self, block: int, row: int, width: int, start_col: int = 0
     ) -> int:
         """Read a word out of a block (verification path, not timed)."""
-        return self.block(block).read_word(row, width, start_col)
+        return self.block(block).read_word(
+            self.resolve_row(block, row), width, start_col
+        )

@@ -17,6 +17,7 @@ opcode    operands                                      effect
           width, shift, shared
 ``MAJ``   block, col, (row, row, row), dst (row, col)   SA majority +
                                                         write-back
+``RETIRE``  block, row                                  spare-row remap
 ``TICK``  cycles                                        controller delay
 ========  ============================================  =================
 
@@ -43,7 +44,7 @@ __all__ = [
 ]
 
 #: Opcodes accepted by the controller.
-OPCODES = ("WR", "RD", "CLR", "INIT", "NOR", "CPY", "MAJ", "TICK")
+OPCODES = ("WR", "RD", "CLR", "INIT", "NOR", "CPY", "MAJ", "RETIRE", "TICK")
 
 
 @dataclass(frozen=True)
@@ -95,6 +96,8 @@ def format_command(command: Command) -> str:
             f"MAJ b{a[0]} c{a[1]} {a[2][0]},{a[2][1]},{a[2][2]} "
             f"-> {a[3][0]}:{a[3][1]}"
         )
+    if op == "RETIRE":
+        return f"RETIRE b{a[0]} r{a[1]}"
     return f"TICK {a[0]}"
 
 
@@ -167,6 +170,8 @@ def assemble(line: str) -> Command:
                     (int(out_row), int(out_col)),
                 ),
             )
+        if op == "RETIRE":
+            return Command("RETIRE", (block(tokens[1]), row(tokens[2])))
         if op == "TICK":
             return Command("TICK", (int(tokens[1]),))
     except (IndexError, ValueError) as exc:
@@ -237,6 +242,9 @@ class MemoryController:
             fabric.block(blk).set_value(dst[0], dst[1], bit)
             fabric.advance_clock(1)
             fabric.charge_writes(1)
+            return None
+        if op == "RETIRE":
+            fabric.retire_row(a[0], a[1])
             return None
         if op == "TICK":
             fabric.advance_clock(a[0])

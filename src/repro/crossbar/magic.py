@@ -69,6 +69,19 @@ class MagicEngine:
             )
         self.cycles = cycles
 
+    def _check_initialised(self, row: int, col: int) -> None:
+        """Assert a NOR output cell holds the required '1' initialisation.
+
+        A pinned (stuck) cell is exempt: on hardware the initialisation
+        pulse silently fails and the NOR evaluates into a frozen output —
+        corruption, not a protocol violation.  The resilience layer is
+        responsible for catching the wrong result.
+        """
+        if self.array.value(row, col) != 1 and not self.array.is_pinned(row, col):
+            raise CrossbarError(
+                f"NOR output cell ({row}, {col}) not initialised to '1'"
+            )
+
     # -- initialisation -----------------------------------------------------------
 
     def init_cells(
@@ -114,10 +127,7 @@ class MagicEngine:
             raise CrossbarError("NOR needs at least one input")
         if out_col in in_cols:
             raise CrossbarError("output column collides with an input")
-        if self.array.value(row, out_col) != 1:
-            raise CrossbarError(
-                f"NOR output cell ({row}, {out_col}) not initialised to '1'"
-            )
+        self._check_initialised(row, out_col)
         inputs = [self.array.value(row, c) for c in in_cols]
         result = int(not any(inputs))
         self._charge_electrical(inputs)
@@ -145,10 +155,7 @@ class MagicEngine:
             raise CrossbarError("NOR needs at least one column")
         results = []
         for col in cols:
-            if self.array.value(out_row, col) != 1:
-                raise CrossbarError(
-                    f"NOR output cell ({out_row}, {col}) not initialised to '1'"
-                )
+            self._check_initialised(out_row, col)
             inputs = [self.array.value(r, col) for r in in_rows]
             result = int(not any(inputs))
             self._charge_electrical(inputs)
@@ -173,10 +180,7 @@ class MagicEngine:
         if output in inputs:
             raise CrossbarError("output cell collides with an input")
         out_row, out_col = output
-        if self.array.value(out_row, out_col) != 1:
-            raise CrossbarError(
-                f"NOR output cell ({out_row}, {out_col}) not initialised to '1'"
-            )
+        self._check_initialised(out_row, out_col)
         bits = [self.array.value(r, c) for r, c in inputs]
         result = int(not any(bits))
         self._charge_electrical(bits)
@@ -207,10 +211,7 @@ class MagicEngine:
             if output in inputs:
                 raise CrossbarError("output cell collides with an input")
             out_row, out_col = output
-            if self.array.value(out_row, out_col) != 1:
-                raise CrossbarError(
-                    f"NOR output cell ({out_row}, {out_col}) not initialised"
-                )
+            self._check_initialised(out_row, out_col)
             bits = [self.array.value(r, c) for r, c in inputs]
             self._charge_electrical(bits)
             sampled.append((output, int(not any(bits))))

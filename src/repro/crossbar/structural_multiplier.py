@@ -27,7 +27,7 @@ from repro.core.cost import Cost
 from repro.crossbar.block import BlockedCrossbar
 from repro.crossbar.structural_adder import RowPool, StructuralAdder
 from repro.device.vteam import VTEAMModel
-from repro.errors import CrossbarError
+from repro.errors import CrossbarError, RecoveryError
 
 __all__ = ["StructuralMultiplier"]
 
@@ -71,6 +71,40 @@ class StructuralMultiplier:
         cols = product_bits + 2  # product + carry-out + margin
         self.fabric = BlockedCrossbar(3, self.rows, cols, model)
         self.adder = StructuralAdder(self.fabric)
+        # Rows condemned by BIST, per block: data-row selection and the
+        # scratch pools of every multiply skip them (compute-level repair,
+        # complementary to the fabric's DMA-level spare remap).
+        self._retired: dict[int, set[int]] = {
+            DATA_BLOCK: set(), PROC_BLOCK_A: set(), PROC_BLOCK_B: set(),
+        }
+
+    def retire_rows(self, block: int, rows) -> int:
+        """Permanently exclude rows of one block from future multiplies.
+
+        Returns how many rows were newly retired.  Raises
+        :class:`RecoveryError` when so few healthy rows remain that a
+        multiplication cannot be laid out any more.
+        """
+        if block not in self._retired:
+            raise CrossbarError(f"block {block} outside the multiplier fabric")
+        before = len(self._retired[block])
+        for row in rows:
+            if not 0 <= row < self.rows:
+                raise CrossbarError(f"row {row} outside block ({self.rows})")
+            self._retired[block].add(row)
+        healthy = self.rows - len(self._retired[block])
+        if healthy < 3:
+            raise RecoveryError(
+                f"block {block} has {healthy} healthy rows left; "
+                "cannot lay out a multiplication"
+            )
+        return len(self._retired[block]) - before
+
+    def retired_rows(self, block: int) -> frozenset[int]:
+        """Rows of one block currently excluded from computation."""
+        if block not in self._retired:
+            raise CrossbarError(f"block {block} outside the multiplier fabric")
+        return frozenset(self._retired[block])
 
     def multiply(
         self, a: int, b: int, spec: ApproxSpec = EXACT
@@ -94,7 +128,12 @@ class StructuralMultiplier:
         fabric.block(DATA_BLOCK).clear()
         fabric.block(PROC_BLOCK_A).clear()
         fabric.block(PROC_BLOCK_B).clear()
-        row_m1, row_m2 = 0, 1
+        # Operands and the shared inverted-multiplicand row take the first
+        # three healthy rows of the data block (retired rows are skipped).
+        healthy = [
+            r for r in range(self.rows) if r not in self._retired[DATA_BLOCK]
+        ]
+        row_m1, row_m2, inverted_row = healthy[:3]
         fabric.write_word(DATA_BLOCK, row_m1, a, n)
         fabric.write_word(DATA_BLOCK, row_m2, b, n)
 
@@ -109,14 +148,24 @@ class StructuralMultiplier:
                 continue  # masked: the controller suppresses the copy
             if bit:
                 set_bits.append(i)
-        assert len(set_bits) == bin(b_eff).count("1")
+        # Cross-validate the sensed bits against the functional mask — only
+        # meaningful when no stuck cell corrupts the stored multiplier word
+        # (under faults the sensed word IS the ground truth, and the residue
+        # checker upstairs is what catches the resulting wrong product).
+        if not any(
+            fabric.block(DATA_BLOCK).is_pinned(row_m2, i) for i in range(n)
+        ):
+            assert len(set_bits) == bin(b_eff).count("1")
 
         pools = {
-            PROC_BLOCK_A: RowPool(self.rows),
-            PROC_BLOCK_B: RowPool(self.rows),
+            PROC_BLOCK_A: RowPool(
+                self.rows, reserved=sorted(self._retired[PROC_BLOCK_A])
+            ),
+            PROC_BLOCK_B: RowPool(
+                self.rows, reserved=sorted(self._retired[PROC_BLOCK_B])
+            ),
         }
         pp_rows = []
-        inverted_row = 2  # inverted multiplicand, shared across copies
         for index, i in enumerate(set_bits):
             dst_row = pools[PROC_BLOCK_A].alloc(1)[0]
             fabric.block(PROC_BLOCK_A).clear_row(dst_row)  # pre-staged

@@ -123,6 +123,7 @@ class RotatingAllocator:
             raise DeviceError("no allocatable rows after reservations")
         self._free = set(self._eligible)
         self._cursor = 0
+        self._retired: set[int] = set()
 
     def alloc(self, count: int = 1) -> list[int]:
         """Take ``count`` rows, continuing from the rotation cursor."""
@@ -151,6 +152,27 @@ class RotatingAllocator:
             if row not in set(self._eligible):
                 raise DeviceError(f"row {row} was never allocatable")
             self._free.add(row)
+
+    def retire(self, row: int) -> None:
+        """Permanently remove a worn-out or faulty row from the rotation.
+
+        The resilience layer calls this after a BIST scan condemns a row:
+        wear levelling must stop cycling allocations through dead rows.
+        Retiring a row that was never allocatable is an error; retiring the
+        same row twice is idempotent.
+        """
+        if row not in set(self._eligible) and row not in self._retired:
+            raise DeviceError(f"row {row} was never allocatable")
+        self._eligible = [r for r in self._eligible if r != row]
+        self._free.discard(row)
+        self._retired.add(row)
+        if not self._eligible:
+            raise DeviceError("all allocatable rows are retired")
+
+    @property
+    def retired(self) -> frozenset[int]:
+        """Rows permanently removed from the rotation."""
+        return frozenset(self._retired)
 
     @property
     def available(self) -> int:

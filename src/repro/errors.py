@@ -42,3 +42,15 @@ class WorkloadError(ReproError):
 class QoSError(ReproError):
     """The adaptive tuner could not satisfy the quality-of-service target at
     any supported approximation level."""
+
+
+class FaultError(ReproError):
+    """A hardware fault was detected and could not be masked transparently:
+    a BIST scan or online residue check flagged corruption that survived the
+    bounded detect/retire/re-execute loop."""
+
+
+class RecoveryError(FaultError):
+    """Fault recovery ran out of resources: the spare-row pool is exhausted
+    (and the degradation policy forbids relocation), or no healthy rows
+    remain to relocate onto."""

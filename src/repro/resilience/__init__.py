@@ -1,0 +1,62 @@
+"""Self-healing execution: fault detection, spare-row repair, degradation.
+
+APIM's fast adder deliberately trades extra writes for latency, so on real
+RRAM stuck cells are the steady state, not a corner case.  This package
+closes the loop the device/variation module only opens (it *injects*
+faults):
+
+- :mod:`repro.resilience.bist` — march-test built-in self test that
+  locates stuck-on/stuck-off cells in a crossbar block or fabric;
+- :mod:`repro.resilience.residue` — cheap online mod-3 residue checking
+  that flags corrupted arithmetic outputs without golden references;
+- :mod:`repro.resilience.policy` — the knobs: spare budget, retry bound,
+  degradation behaviour, checker overhead;
+- :mod:`repro.resilience.manager` — the recovery loop over structural
+  fabrics (detect -> retire -> re-execute), with an event log;
+- :mod:`repro.resilience.engine` — the workload-scale counterpart: a
+  fault-aware :class:`~repro.core.engine.APIMEngine` whose outputs are
+  corrupted by the fabric's stuck cells and healed by the same loop;
+- :mod:`repro.resilience.campaign` — the fault-rate x spare-budget yield
+  campaign behind ``repro faults`` and ``bench_resilience.py``.
+
+See ``docs/reliability.md`` for the full fault model and policy story.
+"""
+
+from repro.resilience.bist import BISTResult, MarchTester
+from repro.resilience.campaign import (
+    ResilienceCampaignPoint,
+    campaign_table,
+    run_fault_campaign,
+)
+from repro.resilience.engine import FabricHealth, ResilienceContext, ResilientEngine
+from repro.resilience.manager import (
+    GuardedProduct,
+    ReliabilityEvent,
+    ResilienceManager,
+)
+from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.residue import (
+    product_residue_ok,
+    residue3,
+    residue_cost,
+    sum_residue_ok,
+)
+
+__all__ = [
+    "BISTResult",
+    "MarchTester",
+    "ResilienceCampaignPoint",
+    "campaign_table",
+    "run_fault_campaign",
+    "FabricHealth",
+    "ResilienceContext",
+    "ResilientEngine",
+    "GuardedProduct",
+    "ReliabilityEvent",
+    "ResilienceManager",
+    "ResiliencePolicy",
+    "product_residue_ok",
+    "residue3",
+    "residue_cost",
+    "sum_residue_ok",
+]

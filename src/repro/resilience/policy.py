@@ -1,0 +1,74 @@
+"""Resilience policy: the knobs of the detect/repair/degrade loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ResiliencePolicy"]
+
+#: Degradation behaviours once a block's spare pool is exhausted.
+EXHAUSTION_POLICIES = ("relocate", "fail")
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Configuration of the self-healing loop.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch.  Disabled, the fault model still corrupts outputs
+        but nothing detects or repairs — the baseline the end-to-end tests
+        compare against.
+    spare_fraction:
+        Fraction of each block's rows reserved as spares (the CONTRA-style
+        area budget; the area model charges for it via
+        ``APIMConfig.spare_row_fraction``).
+    max_retries:
+        Bound on detect -> retire -> re-execute rounds per operation.
+        Retries beyond the bound degrade per ``on_unrecoverable``.
+    on_exhausted:
+        ``"relocate"`` moves a condemned logical row onto a healthy data
+        row elsewhere once spares run out; ``"fail"`` raises
+        :class:`~repro.errors.RecoveryError` immediately.
+    on_unrecoverable:
+        ``"fail"`` raises :class:`~repro.errors.FaultError` when corruption
+        survives the retry bound; ``"degrade"`` lets the corrupted value
+        through and records it (QoS scoring then sees the damage).
+    residue_checks:
+        Whether the online mod-3 checker runs (and is billed) per
+        operation.
+    scan_on_start:
+        Run a full BIST sweep and retire condemned rows before the first
+        operation (power-on repair, the cheapest point to heal).
+    """
+
+    enabled: bool = True
+    spare_fraction: float = 0.05
+    max_retries: int = 3
+    on_exhausted: str = "relocate"
+    on_unrecoverable: str = "fail"
+    residue_checks: bool = True
+    scan_on_start: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.spare_fraction < 0.5:
+            raise ConfigurationError(
+                f"spare_fraction {self.spare_fraction} outside [0, 0.5)"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be non-negative")
+        if self.on_exhausted not in EXHAUSTION_POLICIES:
+            raise ConfigurationError(
+                f"on_exhausted must be one of {EXHAUSTION_POLICIES}"
+            )
+        if self.on_unrecoverable not in ("fail", "degrade"):
+            raise ConfigurationError(
+                "on_unrecoverable must be 'fail' or 'degrade'"
+            )
+
+    def with_overrides(self, **overrides: object) -> "ResiliencePolicy":
+        """Copy with some knobs replaced."""
+        return replace(self, **overrides)  # type: ignore[arg-type]

@@ -11,6 +11,7 @@ the machine's SIMD lane model (see
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -22,6 +23,9 @@ from repro.errors import WorkloadError
 from repro.quality.metrics import quality_loss_percent
 from repro.quality.qos import QoSPolicy
 from repro.workloads.base import Workload, WorkloadData
+
+if TYPE_CHECKING:
+    from repro.resilience.engine import ResilienceContext
 
 __all__ = ["APIMExecutor", "ExecutionResult"]
 
@@ -49,6 +53,9 @@ class ExecutionResult:
     add_count: int
     time: float
     energy: float
+    faults_detected: int = 0
+    repairs: int = 0
+    retries: int = 0
 
     @property
     def edp(self) -> float:
@@ -74,18 +81,29 @@ class APIMExecutor:
         elements: int | None = None,
         rng: np.random.Generator | None = None,
         data: WorkloadData | None = None,
+        resilience: "ResilienceContext | None" = None,
     ) -> ExecutionResult:
         """Execute ``workload`` at approximation ``spec``.
 
         Either pass pre-generated ``data`` (so several specs score against
         identical inputs, as the tuner does) or let the executor generate
         ``elements`` elements with ``rng``.
+
+        With a ``resilience`` context the kernel runs on a fault-aware
+        engine bound to that context's (possibly faulty) fabric: outputs
+        are corrupted by its stuck cells, and — policy permitting —
+        scrubbed back to correctness by the BIST/spare-row/retry loop,
+        whose activity lands in ``faults_detected`` / ``repairs`` /
+        ``retries`` and in the reliability overheads billed to ``cost``.
         """
         if data is None:
             elements = elements or workload.default_elements
             rng = rng or np.random.default_rng(2017)
             data = workload.generate(elements, rng)
-        engine = APIMEngine(self.config, spec)
+        if resilience is not None:
+            engine = resilience.make_engine(self.config, spec)
+        else:
+            engine = APIMEngine(self.config, spec)
         output = workload.run(engine, data)
         reference = workload.reference(data)
         if np.asarray(output).shape != np.asarray(reference).shape:
@@ -116,4 +134,7 @@ class APIMExecutor:
             add_count=engine.add_count,
             time=cost.time(self.config, lanes),
             energy=cost.energy(self.config, lanes, active_blocks=blocks),
+            faults_detected=int(getattr(engine, "faults_detected", 0)),
+            repairs=int(getattr(engine, "repairs", 0)),
+            retries=int(getattr(engine, "retries", 0)),
         )

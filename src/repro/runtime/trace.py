@@ -4,8 +4,10 @@
 of timeline visualisation; this module serialises
 
 - a compiler :class:`~repro.compiler.scheduler.Schedule` (one track per
-  lane, one slice per scheduled node), and
-- an engine :class:`~repro.core.cost.CostLedger` (one slice per phase),
+  lane, one slice per scheduled node),
+- an engine :class:`~repro.core.cost.CostLedger` (one slice per phase), and
+- a resilience event log (one instant event per detection/repair), so
+  reliability incidents can be lined up against the execution timeline,
 
 so simulator runs can be inspected in any trace viewer.  Timestamps are
 in microseconds of simulated time (cycles x cycle time), as the format
@@ -15,6 +17,7 @@ expects.
 from __future__ import annotations
 
 import json
+from typing import TYPE_CHECKING, Sequence
 
 from repro.compiler.ir import Kernel
 from repro.compiler.scheduler import Schedule
@@ -22,7 +25,14 @@ from repro.core.config import APIMConfig, default_config
 from repro.core.cost import CostLedger
 from repro.errors import ConfigurationError
 
-__all__ = ["schedule_to_chrome_trace", "ledger_to_chrome_trace"]
+if TYPE_CHECKING:
+    from repro.resilience.manager import ReliabilityEvent
+
+__all__ = [
+    "schedule_to_chrome_trace",
+    "ledger_to_chrome_trace",
+    "reliability_events_to_chrome_trace",
+]
 
 
 def _cycles_to_us(cycles: float, config: APIMConfig) -> float:
@@ -136,3 +146,44 @@ def ledger_to_chrome_trace(
         )
         cursor += duration
     return json.dumps({"traceEvents": events, "displayTimeUnit": "ns"})
+
+
+def reliability_events_to_chrome_trace(
+    events: "Sequence[ReliabilityEvent]",
+    config: APIMConfig | None = None,
+) -> str:
+    """Serialise a resilience event log as instant events on one track.
+
+    Each :class:`~repro.resilience.manager.ReliabilityEvent` carries the
+    fabric cycle it happened at, so scans, detections, retirements and
+    retries land at their true positions on the simulated timeline.
+    """
+    config = config or default_config()
+    trace: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": "APIM reliability events"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "resilience"},
+        },
+    ]
+    for event in events:
+        trace.append(
+            {
+                "name": event.kind,
+                "ph": "i",
+                "pid": 1,
+                "tid": 0,
+                "ts": _cycles_to_us(event.cycle, config),
+                "s": "t",
+                "args": {"detail": event.detail},
+            }
+        )
+    return json.dumps({"traceEvents": trace, "displayTimeUnit": "ns"})

@@ -1,0 +1,71 @@
+"""The exception hierarchy contract: one catchable base for embedders.
+
+Anything the simulator raises must derive from :class:`ReproError`, so a
+host application wraps every call site in a single ``except ReproError``.
+These tests pin that contract — including the resilience additions
+(:class:`FaultError`, :class:`RecoveryError`) — so a refactor cannot
+silently detach an error type from the base.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import (
+    ApproximationError,
+    ConfigurationError,
+    CrossbarError,
+    DeviceError,
+    FaultError,
+    QoSError,
+    RecoveryError,
+    ReproError,
+    WorkloadError,
+)
+
+ALL_ERRORS = [
+    ApproximationError,
+    ConfigurationError,
+    CrossbarError,
+    DeviceError,
+    FaultError,
+    QoSError,
+    RecoveryError,
+    WorkloadError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", ALL_ERRORS)
+    def test_every_export_subclasses_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    @pytest.mark.parametrize("exc", ALL_ERRORS)
+    def test_every_export_is_catchable_as_repro_error(self, exc):
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_no_stray_exception_in_module(self):
+        """Every exception defined in repro.errors derives from ReproError."""
+        for _, obj in inspect.getmembers(errors_module, inspect.isclass):
+            if issubclass(obj, BaseException) and obj is not ReproError:
+                assert issubclass(obj, ReproError), obj
+
+    def test_recovery_error_is_a_fault_error(self):
+        """Exhausted spares are a (terminal) kind of fault: one handler
+        covers both the detection and the resource-exhaustion paths."""
+        assert issubclass(RecoveryError, FaultError)
+        with pytest.raises(FaultError):
+            raise RecoveryError("spares exhausted")
+
+    def test_fault_errors_importable_from_resilience_surface(self):
+        """The resilience subsystem raises exactly these types."""
+        from repro.resilience import ResilienceManager, ResiliencePolicy
+
+        manager = ResilienceManager(ResiliencePolicy())
+        assert manager.policy.enabled
+        assert FaultError.__module__ == "repro.errors"
+        assert RecoveryError.__module__ == "repro.errors"
