@@ -9,6 +9,10 @@ Commands:
   approximation level and print quality/cost.
 - ``sweep PARAM V1 V2 ...`` — sensitivity sweep of a model constant.
 - ``faults`` — stuck-cell rate x spare-budget resilience campaign.
+- ``campaign`` — (workload x relax-level) grid, optionally supervised
+  (``--retries/--deadline``) and checkpointed (``--checkpoint/--resume``).
+- ``chaos`` — fault-injected supervised campaign: completion yield,
+  retry counts and degradation mix versus injected fault rate.
 - ``workloads`` — list available workloads.
 """
 
@@ -86,6 +90,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--levels", type=int, nargs="+", default=[0, 16, 32])
     p.add_argument("--tile", type=int, default=1 << 11)
     p.add_argument("-o", "--output", default=None, help="write CSV to a file")
+    p.add_argument(
+        "--checkpoint", default=None,
+        help="JSONL journal path for kill-safe progress",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="skip points the checkpoint journal proves complete",
+    )
+    p.add_argument(
+        "--retries", type=int, default=None,
+        help="supervise each point with up to N attempts",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-point wall-clock deadline in seconds (implies supervision)",
+    )
+    p.add_argument("--seed", type=int, default=2017)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injected supervised campaign: yield vs chaos rate",
+    )
+    p.add_argument(
+        "--rates", type=float, nargs="+", default=[0.0, 0.1, 0.3],
+        help="transient-fault injection rates to sweep",
+    )
+    p.add_argument("--latency-rate", type=float, default=0.05)
+    p.add_argument("--corrupt-rate", type=float, default=0.02)
+    p.add_argument("--workloads", nargs="+", default=["Sobel", "Robert"])
+    p.add_argument("--levels", type=int, nargs="+", default=[0, 16, 32])
+    p.add_argument("--tile", type=int, default=1 << 10)
+    p.add_argument("--retries", type=int, default=4)
+    p.add_argument("--seed", type=int, default=2017)
+    p.add_argument(
+        "--trace", default=None,
+        help="stream the supervision timeline to a Chrome trace file",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="tiny smoke grid (CI): one workload, two levels, two rates",
+    )
 
     p = sub.add_parser(
         "faults", help="fault-injection campaign: yield vs spare budget"
@@ -151,6 +196,54 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Sweep injected fault rates; non-zero exit on any lost point."""
+    from repro.runtime.chaos import ChaosPolicy, chaos_table, run_chaos_campaign
+
+    workloads = list(args.workloads)
+    levels = list(args.levels)
+    rates = list(args.rates)
+    tile = args.tile
+    seed = args.seed
+    if args.quick:
+        workloads, levels, rates, tile = ["Robert"], [0, 16], [0.0, 0.2], 1 << 9
+        # This seed provably injects (and recovers) a transient on the tiny
+        # grid, so the CI smoke exercises the retry path, not just a clean run.
+        seed = 1
+    outcomes = []
+    for rate in rates:
+        policy = ChaosPolicy(
+            transient_rate=rate,
+            latency_rate=args.latency_rate,
+            corrupt_rate=args.corrupt_rate,
+            seed=seed,
+        )
+        outcomes.append(
+            run_chaos_campaign(
+                workloads=workloads,
+                relax_levels=levels,
+                policy=policy,
+                tile_elements=tile,
+                max_attempts=args.retries,
+                trace_path=args.trace,
+            )
+        )
+    print("chaos recovery: supervised campaign under injected faults")
+    print(chaos_table(outcomes))
+    expected = len(workloads) * len(levels)
+    lost = sum(
+        expected - len(outcome.result.points)
+        + outcome.status_counts["failed"]
+        for outcome in outcomes
+    )
+    if lost:
+        print(f"LOST POINTS: {lost} — supervision failed its completion "
+              "guarantee")
+        return 1
+    print(f"all {expected} points terminal in every sweep — zero lost")
+    return 0
+
+
 def _cmd_workloads() -> str:
     lines = ["paper workloads (Table 1):"]
     for w in all_workloads():
@@ -189,9 +282,23 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "campaign":
         from repro.runtime.campaign import run_campaign
 
+        supervisor = None
+        if args.retries is not None or args.deadline is not None:
+            from repro.runtime.supervisor import RetryPolicy, Supervisor
+
+            supervisor = Supervisor(
+                retry=RetryPolicy(
+                    max_attempts=args.retries or 3, jitter_seed=args.seed
+                ),
+                deadline_s=args.deadline,
+            )
         result = run_campaign(
             list(args.workloads), list(args.levels),
             tile_elements=args.tile,
+            supervisor=supervisor,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            seed=args.seed,
         )
         text = result.to_csv()
         if args.output:
@@ -201,6 +308,8 @@ def main(argv: list[str] | None = None) -> int:
                   f"({len(result.points)} points)")
         else:
             print(text, end="")
+    elif args.command == "chaos":
+        return _cmd_chaos(args)
     elif args.command == "faults":
         from repro.resilience import campaign_table, run_fault_campaign
 

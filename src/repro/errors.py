@@ -3,7 +3,9 @@
 Every error raised by this package derives from :class:`ReproError`, so a
 caller embedding the simulator can catch one type.  Subclasses partition the
 failure domains: device physics, crossbar structural simulation, cost-model
-configuration, workload construction and runtime/QoS tuning.
+configuration, workload construction, runtime/QoS tuning, fault recovery,
+and the supervised campaign runtime (transients, deadlines, breakers,
+checkpoints).
 """
 
 from __future__ import annotations
@@ -39,6 +41,12 @@ class WorkloadError(ReproError):
     bit width, or an empty dataset."""
 
 
+class KernelExecutionError(WorkloadError):
+    """A workload kernel raised a raw (non-:class:`ReproError`) exception
+    mid-execution.  The executor normalises such escapes into this type so
+    supervision code can treat every kernel failure uniformly."""
+
+
 class QoSError(ReproError):
     """The adaptive tuner could not satisfy the quality-of-service target at
     any supported approximation level."""
@@ -54,3 +62,26 @@ class RecoveryError(FaultError):
     """Fault recovery ran out of resources: the spare-row pool is exhausted
     (and the degradation policy forbids relocation), or no healthy rows
     remain to relocate onto."""
+
+
+class TransientError(ReproError):
+    """A fault that is expected to clear on re-execution: a glitched engine
+    pass, a flaky measurement, an injected chaos fault.  The supervisor
+    retries these (with backoff) before degrading."""
+
+
+class DeadlineExceededError(ReproError):
+    """A supervised run blew its wall-clock deadline.  In-process kernels
+    cannot be preempted, so the supervisor detects the overrun between
+    attempts (or after completion) and refuses to spend further time."""
+
+
+class CircuitOpenError(ReproError):
+    """The circuit breaker for a (workload, config) key is open: too many
+    consecutive failures.  Callers should degrade or fall back instead of
+    hammering a run that keeps dying."""
+
+
+class CheckpointError(ReproError):
+    """The campaign checkpoint journal is unusable: an unwritable path, or
+    corruption beyond the recoverable torn-tail case."""

@@ -7,6 +7,12 @@ stay under the relative-error ceiling (10 %).  The adaptive tuner
 policy, exactly as the paper's framework does ("it increases the level of
 accuracy in 4-bit steps until ensuring the acceptable quality of
 service").
+
+:func:`relax_ladder` is the single source of that ladder.  The tuner
+descends it (most approximate first, seeking the cheapest acceptable
+rung); the campaign supervisor ascends the portion *above* a failing
+point (:meth:`QoSPolicy.degradation_rungs`) — trading quality for cheaper
+re-execution is the graceful alternative to losing the point entirely.
 """
 
 from __future__ import annotations
@@ -18,7 +24,22 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.quality.metrics import average_relative_error, psnr
 
-__all__ = ["QoSPolicy"]
+__all__ = ["QoSPolicy", "relax_ladder"]
+
+
+def relax_ladder(max_relax_bits: int = 32, step: int = 4) -> tuple[int, ...]:
+    """The paper's accuracy ladder: ``max, max-step, ..., 0``.
+
+    Always ends at 0 (exact mode), even when ``max_relax_bits`` is not a
+    multiple of ``step`` — the tuner's terminal rung must exist.
+    """
+    if max_relax_bits <= 0 or step <= 0:
+        raise ConfigurationError(
+            "max_relax_bits and step must be positive for a relax ladder"
+        )
+    rungs = list(range(max_relax_bits, 0, -step))
+    rungs.append(0)
+    return tuple(rungs)
 
 
 @dataclass(frozen=True)
@@ -56,3 +77,23 @@ class QoSPolicy:
         if kind == "image":
             return value >= self.min_psnr_db
         return value <= self.max_relative_error
+
+    def degradation_rungs(
+        self, current: int, max_relax_bits: int = 32, step: int = 4
+    ) -> tuple[int, ...]:
+        """Relax levels above ``current``, nearest first.
+
+        The supervisor walks these when a point exhausts its retries or
+        deadline: each rung relaxes more product bits (cheaper, faster,
+        lower quality), degrading the point instead of failing it.  Empty
+        when ``current`` already sits at the top of the ladder.
+        """
+        if current < 0:
+            raise ConfigurationError(
+                f"current relax level must be non-negative: {current}"
+            )
+        return tuple(
+            rung
+            for rung in sorted(relax_ladder(max_relax_bits, step))
+            if rung > current
+        )

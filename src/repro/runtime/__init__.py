@@ -6,12 +6,40 @@
   (tile-measured APIM cost extrapolated; analytic GPU baseline).
 - :mod:`repro.runtime.tuner` — the paper's adaptive accuracy controller
   (start at 32 relax bits, back off in 4-bit steps until QoS holds).
+- :mod:`repro.runtime.supervisor` — retries with deterministic-jitter
+  backoff, per-run deadlines, per-key circuit breakers.
+- :mod:`repro.runtime.checkpoint` — write-ahead JSONL campaign journal
+  with torn-tail recovery and resume.
+- :mod:`repro.runtime.chaos` — deterministic runtime fault injection and
+  the recovery-yield campaign around it.
 """
 
-from repro.runtime.campaign import CampaignPoint, CampaignResult, run_campaign
-from repro.runtime.executor import APIMExecutor, ExecutionResult
+from repro.runtime.campaign import (
+    TERMINAL_STATUSES,
+    CampaignPoint,
+    CampaignResult,
+    point_key,
+    run_campaign,
+)
+from repro.runtime.chaos import (
+    ChaosInjector,
+    ChaosOutcome,
+    ChaosPolicy,
+    chaos_table,
+    run_chaos_campaign,
+)
+from repro.runtime.checkpoint import CheckpointJournal, load_journal, recover
 from repro.runtime.comparison import ComparisonHarness, ComparisonResult
+from repro.runtime.executor import APIMExecutor, ExecutionResult
 from repro.runtime.power import PowerAnalysis, PowerReport
+from repro.runtime.supervisor import (
+    CircuitBreaker,
+    ManualClock,
+    RetryPolicy,
+    RunReport,
+    Supervisor,
+)
+from repro.runtime.trace import ChromeTraceWriter
 from repro.runtime.tuner import AdaptiveTuner, TuningResult, TuningTrial
 
 __all__ = [
@@ -27,4 +55,20 @@ __all__ = [
     "run_campaign",
     "CampaignResult",
     "CampaignPoint",
+    "TERMINAL_STATUSES",
+    "point_key",
+    "Supervisor",
+    "RetryPolicy",
+    "RunReport",
+    "CircuitBreaker",
+    "ManualClock",
+    "CheckpointJournal",
+    "load_journal",
+    "recover",
+    "ChaosPolicy",
+    "ChaosInjector",
+    "ChaosOutcome",
+    "run_chaos_campaign",
+    "chaos_table",
+    "ChromeTraceWriter",
 ]

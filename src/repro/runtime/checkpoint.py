@@ -1,0 +1,188 @@
+"""Write-ahead checkpoint journal for campaigns.
+
+A campaign that runs for hours must survive being killed at any byte.
+The journal is an append-only JSONL file:
+
+- ``{"v": 1, "type": "campaign", "meta": {...}}`` — grid descriptor,
+  written once per run for inspectability;
+- ``{"v": 1, "type": "begin", "key": K}`` — written *before* a point
+  executes (the write-ahead part: an orphaned ``begin`` marks exactly
+  which point was in flight when the process died);
+- ``{"v": 1, "type": "end", "key": K, "point": {...}}`` — the point's
+  full payload, written after it reaches a terminal status.
+
+Appends are a single buffered-off write of one ``\\n``-terminated line
+followed by an fsync, so a crash can only ever produce a *torn tail*: a
+final partial line.  :func:`load_journal` tolerates that by treating the
+first unparseable record and everything after it as tail garbage, and
+:func:`recover` (run automatically when a journal is opened for resume)
+truncates the file back to the clean prefix so new appends never splice
+into torn bytes.
+
+The journal stores plain dicts — :mod:`repro.runtime.campaign` owns the
+conversion to/from :class:`~repro.runtime.campaign.CampaignPoint`, which
+keeps this module dependency-free below the campaign layer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+from repro.errors import CheckpointError
+
+__all__ = [
+    "CheckpointJournal",
+    "JournalState",
+    "load_journal",
+    "recover",
+]
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class JournalState:
+    """Everything a resuming campaign needs from a prior journal."""
+
+    #: key -> the terminal point payload (the ``end`` record's ``point``).
+    completed: dict[str, dict]
+    #: keys begun but never finished (in flight at the kill).
+    in_flight: tuple[str, ...]
+    #: grid descriptors seen (one per prior run against this journal).
+    meta: tuple[dict, ...]
+    #: records parsed successfully.
+    records: int
+    #: torn/corrupt tail records dropped during the tolerant load.
+    truncated: int
+
+
+def _scan(raw: bytes) -> tuple[list[dict], int, int]:
+    """(valid records, clean-prefix byte length, dropped record count)."""
+    records: list[dict] = []
+    offset = 0
+    dropped = 0
+    lines = raw.split(b"\n")
+    body, tail = lines[:-1], lines[-1]
+    for i, line in enumerate(body):
+        try:
+            record = json.loads(line)
+            if not isinstance(record, dict) or "type" not in record:
+                raise ValueError("not a journal record")
+        except ValueError:
+            # Append-only writes mean corruption is a tail phenomenon:
+            # this record and everything after it is torn garbage.
+            dropped += len(body) - i
+            if tail:
+                dropped += 1
+            return records, offset, dropped
+        records.append(record)
+        offset += len(line) + 1
+    if tail:  # final line never got its newline: torn mid-append
+        dropped += 1
+    return records, offset, dropped
+
+
+def load_journal(path: str) -> JournalState:
+    """Tolerantly load a journal; a missing file is an empty journal."""
+    if not os.path.exists(path):
+        return JournalState(
+            completed={}, in_flight=(), meta=(), records=0, truncated=0
+        )
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    records, _, dropped = _scan(raw)
+    completed: dict[str, dict] = {}
+    begun: dict[str, None] = {}  # insertion-ordered set
+    meta: list[dict] = []
+    for record in records:
+        kind = record["type"]
+        if kind == "campaign":
+            meta.append(record.get("meta", {}))
+        elif kind == "begin":
+            begun[record["key"]] = None
+        elif kind == "end":
+            key = record["key"]
+            completed[key] = record.get("point", {})
+            begun.pop(key, None)
+        # Unknown record types are skipped: forward compatibility.
+    return JournalState(
+        completed=completed,
+        in_flight=tuple(begun),
+        meta=tuple(meta),
+        records=len(records),
+        truncated=dropped,
+    )
+
+
+def recover(path: str) -> int:
+    """Truncate torn tail records in place; returns records dropped.
+
+    Idempotent and safe on a clean journal (drops nothing).  Must run
+    before appending to a journal that may have died mid-write, so the
+    next record starts on a clean line.
+    """
+    if not os.path.exists(path):
+        return 0
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    _, clean_len, dropped = _scan(raw)
+    if clean_len < len(raw):
+        with open(path, "r+b") as handle:
+            handle.truncate(clean_len)
+    return dropped
+
+
+class CheckpointJournal:
+    """Append-side handle on a campaign journal.
+
+    ``resume=False`` starts a fresh journal (truncating any existing
+    file); ``resume=True`` recovers the torn tail and appends.  Usable as
+    a context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(self, path: str, resume: bool = False) -> None:
+        self.path = path
+        if resume:
+            recover(path)
+        try:
+            # Unbuffered binary: each append is one OS-level write.
+            self._handle = open(path, "ab" if resume else "wb", buffering=0)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot open checkpoint journal {path!r}: {exc}"
+            ) from exc
+
+    def append(self, record: dict) -> None:
+        """Atomically append one record (single write + fsync)."""
+        if self._handle is None:
+            raise CheckpointError(f"journal {self.path!r} is closed")
+        payload = dict(record)
+        payload.setdefault("v", FORMAT_VERSION)
+        line = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+        self._handle.write(line.encode("utf-8") + b"\n")
+        os.fsync(self._handle.fileno())
+
+    def describe(self, meta: dict) -> None:
+        """Record the grid descriptor for this run."""
+        self.append({"type": "campaign", "meta": meta})
+
+    def begin(self, key: str) -> None:
+        """Write-ahead marker: ``key`` is about to execute."""
+        self.append({"type": "begin", "key": key})
+
+    def complete(self, key: str, point: dict) -> None:
+        """Terminal marker: ``key`` finished with this payload."""
+        self.append({"type": "end", "key": key, "point": point})
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -73,6 +73,7 @@ class ComparisonHarness:
         self.tile_elements = tile_elements
         self.rng_seed = rng_seed
         self._tile_cache: dict[tuple[str, ApproxSpec], ExecutionResult] = {}
+        self._cpu = None  # lazy CPUModel, built on first cpu_fallback
 
     # -- APIM side ----------------------------------------------------------
 
@@ -110,6 +111,37 @@ class ComparisonHarness:
         return time, energy, tile
 
     # -- comparison ---------------------------------------------------------
+
+    def cpu_fallback(self, workload, dataset_bytes: float) -> ComparisonResult:
+        """Price the point on the host-CPU baseline instead of APIM.
+
+        The supervised campaign's last resort: when a point cannot be
+        completed on the simulated accelerator at *any* relax level, the
+        work still completes — exactly, on a conventional core.  The
+        ``apim_*`` fields carry the CPU's cost, so the exported speedup /
+        energy / EDP columns honestly read "what this point achieved
+        relative to the GPU baseline" (usually < 1).  Quality is exact by
+        construction (QoL 0, QoS met).
+        """
+        from repro.baselines.cpu import CPUModel  # deferred: keeps the
+        # CPU baseline out of every non-degraded campaign's import path.
+
+        if self._cpu is None:
+            self._cpu = CPUModel()
+        profile = workload.profile()
+        cpu = self._cpu.estimate(profile, dataset_bytes)
+        gpu: GPUEstimate = self.gpu.estimate(profile, dataset_bytes)
+        return ComparisonResult(
+            workload=workload.name,
+            dataset_bytes=int(dataset_bytes),
+            spec=EXACT,
+            apim_time=cpu.time,
+            apim_energy=cpu.energy,
+            gpu_time=gpu.time,
+            gpu_energy=gpu.energy,
+            qol_percent=0.0,
+            qos_ok=True,
+        )
 
     def compare(
         self, workload, dataset_bytes: float, spec: ApproxSpec = EXACT

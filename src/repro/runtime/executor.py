@@ -19,7 +19,7 @@ from repro.core.approximation import EXACT, ApproxSpec
 from repro.core.config import APIMConfig, default_config
 from repro.core.cost import Cost
 from repro.core.engine import APIMEngine
-from repro.errors import WorkloadError
+from repro.errors import KernelExecutionError, ReproError, WorkloadError
 from repro.quality.metrics import quality_loss_percent
 from repro.quality.qos import QoSPolicy
 from repro.workloads.base import Workload, WorkloadData
@@ -56,6 +56,13 @@ class ExecutionResult:
     faults_detected: int = 0
     repairs: int = 0
     retries: int = 0
+    #: Terminal outcome: ``ok`` (clean first pass), ``retried`` (elements
+    #: re-executed by the resilience loop), ``degraded`` (corruption kept
+    #: per policy), ``fallback`` / ``failed`` (set by the supervisor for
+    #: runs it rescued or lost — the executor itself raises instead).
+    status: str = "ok"
+    #: Execution passes consumed (resilience re-execution rounds + 1).
+    attempts: int = 1
 
     @property
     def edp(self) -> float:
@@ -104,8 +111,16 @@ class APIMExecutor:
             engine = resilience.make_engine(self.config, spec)
         else:
             engine = APIMEngine(self.config, spec)
-        output = workload.run(engine, data)
-        reference = workload.reference(data)
+        try:
+            output = workload.run(engine, data)
+            reference = workload.reference(data)
+        except ReproError:
+            raise
+        except Exception as exc:  # normalise raw kernel escapes
+            raise KernelExecutionError(
+                f"{workload.name}: kernel raised "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
         if np.asarray(output).shape != np.asarray(reference).shape:
             raise WorkloadError(
                 f"{workload.name}: output shape {np.asarray(output).shape} "
@@ -119,6 +134,9 @@ class APIMExecutor:
         lanes = self.config.parallel_lanes(dataset_bytes)
         blocks = self.config.blocks_for(dataset_bytes)
         cost = engine.total_cost
+        retries = int(getattr(engine, "retries", 0))
+        degraded = int(getattr(engine, "degraded", 0))
+        status = "degraded" if degraded else ("retried" if retries else "ok")
         return ExecutionResult(
             workload=workload.name,
             spec=spec,
@@ -136,5 +154,7 @@ class APIMExecutor:
             energy=cost.energy(self.config, lanes, active_blocks=blocks),
             faults_detected=int(getattr(engine, "faults_detected", 0)),
             repairs=int(getattr(engine, "repairs", 0)),
-            retries=int(getattr(engine, "retries", 0)),
+            retries=retries,
+            status=status,
+            attempts=retries + 1,
         )

@@ -5,9 +5,13 @@ of timeline visualisation; this module serialises
 
 - a compiler :class:`~repro.compiler.scheduler.Schedule` (one track per
   lane, one slice per scheduled node),
-- an engine :class:`~repro.core.cost.CostLedger` (one slice per phase), and
+- an engine :class:`~repro.core.cost.CostLedger` (one slice per phase),
 - a resilience event log (one instant event per detection/repair), so
   reliability incidents can be lined up against the execution timeline,
+- and a live supervision timeline through :class:`ChromeTraceWriter`,
+  whose every flush leaves a complete, loadable document on disk — a
+  campaign killed or crashed mid-grid still produces an inspectable
+  trace,
 
 so simulator runs can be inspected in any trace viewer.  Timestamps are
 in microseconds of simulated time (cycles x cycle time), as the format
@@ -17,6 +21,8 @@ expects.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from typing import TYPE_CHECKING, Sequence
 
 from repro.compiler.ir import Kernel
@@ -29,6 +35,7 @@ if TYPE_CHECKING:
     from repro.resilience.manager import ReliabilityEvent
 
 __all__ = [
+    "ChromeTraceWriter",
     "schedule_to_chrome_trace",
     "ledger_to_chrome_trace",
     "reliability_events_to_chrome_trace",
@@ -37,6 +44,95 @@ __all__ = [
 
 def _cycles_to_us(cycles: float, config: APIMConfig) -> float:
     return cycles * config.cycle_time * 1e6
+
+
+class ChromeTraceWriter:
+    """An incrementally-flushed Chrome trace file that survives crashes.
+
+    The one-shot exporters below serialise after the run succeeds, which
+    loses the trace exactly when it is most wanted — on a failure.  This
+    writer buffers events and, on every flush, atomically replaces the
+    target file with a *complete* JSON document (write to a temp file in
+    the same directory, then ``os.replace``), so the file on disk is
+    loadable at every instant.  Used as a context manager it flushes on
+    the failure path too: ``__exit__`` writes whatever was buffered even
+    while an exception is propagating, and never swallows it.
+    """
+
+    def __init__(self, path: str, flush_every: int = 1) -> None:
+        if flush_every < 1:
+            raise ConfigurationError("flush_every must be at least 1")
+        self.path = path
+        self.flush_every = flush_every
+        self._events: list[dict] = []
+        self._pending = 0
+        self._closed = False
+
+    def add(self, event: dict) -> None:
+        """Buffer one raw trace event, flushing per policy."""
+        if self._closed:
+            raise ConfigurationError(f"trace writer {self.path!r} is closed")
+        self._events.append(event)
+        self._pending += 1
+        if self._pending >= self.flush_every:
+            self.flush()
+
+    def instant(
+        self, name: str, ts_us: float, tid: int = 0, **args
+    ) -> None:
+        """An instant event (``ph: "i"``) at a timestamp in microseconds."""
+        self.add(
+            {
+                "name": name, "ph": "i", "pid": 1, "tid": tid,
+                "ts": ts_us, "s": "t", "args": args,
+            }
+        )
+
+    def slice(
+        self, name: str, ts_us: float, dur_us: float, tid: int = 0, **args
+    ) -> None:
+        """A complete-duration event (``ph: "X"``)."""
+        self.add(
+            {
+                "name": name, "ph": "X", "pid": 1, "tid": tid,
+                "ts": ts_us, "dur": dur_us, "args": args,
+            }
+        )
+
+    def flush(self) -> None:
+        """Atomically rewrite the target as a complete, loadable trace."""
+        payload = json.dumps(
+            {"traceEvents": list(self._events), "displayTimeUnit": "ns"}
+        )
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".trace.tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp, self.path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self._pending = 0
+
+    @property
+    def events(self) -> tuple[dict, ...]:
+        """Everything buffered so far (flushed or not)."""
+        return tuple(self._events)
+
+    def close(self) -> None:
+        """Final flush; idempotent."""
+        if not self._closed:
+            self.flush()
+            self._closed = True
+
+    def __enter__(self) -> "ChromeTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        # Flush on success *and* failure; never swallow the exception.
+        self.close()
 
 
 def schedule_to_chrome_trace(

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.core.approximation import ApproxSpec
 from repro.errors import QoSError
-from repro.quality.qos import QoSPolicy
+from repro.quality.qos import QoSPolicy, relax_ladder
 from repro.runtime.executor import APIMExecutor, ExecutionResult
 from repro.workloads.base import Workload
 
@@ -98,8 +98,9 @@ class AdaptiveTuner:
             elements or workload.default_elements, rng
         )
         trials: list[TuningTrial] = []
-        m = self.max_relax_bits
-        while m >= 0:
+        # The shared ladder (qos.relax_ladder) always terminates at m = 0,
+        # so exact mode is evaluated even when max is not a step multiple.
+        for m in relax_ladder(self.max_relax_bits, self.step):
             result: ExecutionResult = self.executor.run(
                 workload, spec=ApproxSpec.last_stage(m), data=data
             )
@@ -119,7 +120,6 @@ class AdaptiveTuner:
                     selected_relax_bits=m,
                     trials=tuple(trials),
                 )
-            m -= self.step
         raise QoSError(
             f"{workload.name}: QoS unmet even in exact mode — the kernel's "
             "exact path diverges from its reference"

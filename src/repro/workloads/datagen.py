@@ -11,10 +11,15 @@ for fixed-point scaling:
 - :func:`halton_indices` — sequence indices with a random offset
   (quasi-random generator inputs);
 - :func:`power_of_two_length` — the length convention the transform
-  kernels require.
+  kernels require;
+- :func:`seeded_stream` — one independent deterministic random stream per
+  (seed, key path), the randomness source every supervised/chaos code path
+  draws from so reruns are reproducible bit for bit.
 """
 
 from __future__ import annotations
+
+import zlib
 
 import numpy as np
 
@@ -25,7 +30,24 @@ __all__ = [
     "uniform_samples",
     "smooth_noisy_signal",
     "halton_indices",
+    "seeded_stream",
 ]
+
+
+def seeded_stream(seed: int, *key: int | str) -> np.random.Generator:
+    """An independent, deterministic generator for one (seed, key) path.
+
+    Key parts (workload names, point keys, attempt indices) are folded into
+    the seed material via CRC-32 — stable across processes and Python
+    versions, unlike :func:`hash` — so every random decision made by the
+    chaos injector, the backoff jitter and the campaign runner is a pure
+    function of the user's seed and the decision's identity.  Two calls
+    with the same arguments always yield identical streams.
+    """
+    if seed < 0:
+        raise WorkloadError(f"stream seed must be non-negative: {seed}")
+    words = [zlib.crc32(str(part).encode("utf-8")) for part in key]
+    return np.random.default_rng(np.random.SeedSequence([seed, *words]))
 
 
 def power_of_two_length(elements: int, minimum_log2: int = 3) -> int:

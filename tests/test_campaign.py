@@ -91,3 +91,66 @@ class TestValidation:
             tile_elements=1 << 9,
         )
         assert result.points[0].workload == "Robert"
+
+
+class TestSupervisionAccounting:
+    def test_rows_carry_status_and_attempts(self, campaign):
+        header, rows = campaign.to_rows()
+        status_col = header.index("status")
+        attempts_col = header.index("attempts")
+        assert all(row[status_col] == "ok" for row in rows)
+        assert all(row[attempts_col] == 1 for row in rows)
+
+    def test_status_counts_and_yield(self, campaign):
+        counts = campaign.status_counts()
+        assert counts["ok"] == len(campaign.points)
+        assert sum(counts.values()) == len(campaign.points)
+        assert campaign.completion_yield == 1.0
+
+    def test_point_keys_are_stable(self, campaign):
+        from repro.runtime.campaign import point_key
+
+        point = campaign.points[0]
+        expected = point_key(
+            point.workload, point.relax_bits, point.dataset_bytes
+        )
+        assert point.key == expected
+        assert f"m{point.relax_bits}" in expected
+
+    def test_bad_status_rejected(self):
+        import dataclasses
+
+        from repro.runtime.campaign import CampaignPoint
+
+        template = dataclasses.asdict(
+            CampaignPoint(
+                workload="W", relax_bits=0, dataset_bytes=1024,
+                qol_percent=0.0, qos_ok=True, speedup=1.0,
+                energy_improvement=1.0, edp_improvement=1.0,
+                apim_time_s=1.0, apim_energy_j=1.0,
+            )
+        )
+        template["status"] = "vanished"
+        with pytest.raises(ConfigurationError):
+            CampaignPoint(**template)
+
+    def test_supervised_run_matches_unsupervised(self):
+        """Wiring a supervisor changes nothing when nothing fails."""
+        from repro.runtime.supervisor import (
+            ManualClock,
+            RetryPolicy,
+            Supervisor,
+        )
+
+        grid = dict(
+            workloads=["Robert"], relax_levels=[0, 16],
+            dataset_bytes=64 * MIB, tile_elements=1 << 9,
+        )
+        plain = run_campaign(**grid)
+        supervised = run_campaign(
+            **grid,
+            supervisor=Supervisor(
+                clock=ManualClock(), retry=RetryPolicy(max_attempts=3)
+            ),
+        )
+        assert supervised.to_rows() == plain.to_rows()

@@ -16,24 +16,34 @@ import pytest
 import repro.errors as errors_module
 from repro.errors import (
     ApproximationError,
+    CheckpointError,
+    CircuitOpenError,
     ConfigurationError,
     CrossbarError,
+    DeadlineExceededError,
     DeviceError,
     FaultError,
+    KernelExecutionError,
     QoSError,
     RecoveryError,
     ReproError,
+    TransientError,
     WorkloadError,
 )
 
 ALL_ERRORS = [
     ApproximationError,
+    CheckpointError,
+    CircuitOpenError,
     ConfigurationError,
     CrossbarError,
+    DeadlineExceededError,
     DeviceError,
     FaultError,
+    KernelExecutionError,
     QoSError,
     RecoveryError,
+    TransientError,
     WorkloadError,
 ]
 
@@ -60,6 +70,58 @@ class TestHierarchy:
         assert issubclass(RecoveryError, FaultError)
         with pytest.raises(FaultError):
             raise RecoveryError("spares exhausted")
+
+    def test_kernel_execution_error_is_a_workload_error(self):
+        """A raw kernel escape is one kind of workload failure: existing
+        ``except WorkloadError`` handlers keep covering it."""
+        assert issubclass(KernelExecutionError, WorkloadError)
+        with pytest.raises(WorkloadError):
+            raise KernelExecutionError("ZeroDivisionError in kernel")
+
+    def test_supervision_errors_share_the_single_base(self):
+        """The supervised runtime's failure modes are catchable both
+        individually and as ReproError — the embedding contract."""
+        for exc in (TransientError, DeadlineExceededError, CircuitOpenError,
+                    CheckpointError):
+            assert issubclass(exc, ReproError)
+            assert not issubclass(exc, WorkloadError)
+
+    def test_executor_normalises_raw_kernel_escapes(self):
+        """A kernel raising a bare ValueError surfaces as
+        KernelExecutionError with the original chained as __cause__."""
+        import numpy as np
+
+        from repro.baselines.gpu import WorkloadProfile
+        from repro.runtime.executor import APIMExecutor
+        from repro.workloads.base import Workload, WorkloadData
+
+        class ExplodingWorkload(Workload):
+            name = "Exploding"
+            kind = "signal"
+
+            def generate(self, elements, rng):
+                return WorkloadData(
+                    arrays={"x": np.zeros(elements, dtype=np.int64)},
+                    elements=elements,
+                )
+
+            def run(self, engine, data):
+                raise ValueError("raw kernel bug")
+
+            def reference(self, data):
+                return data.array("x")
+
+            def profile(self):
+                return WorkloadProfile(
+                    name=self.name, element_bytes=4,
+                    flops_per_element=1.0, reads_per_element=1.0,
+                    writes_per_element=1.0, passes=lambda n: 1.0,
+                    trace=lambda n: iter(()),
+                )
+
+        with pytest.raises(KernelExecutionError) as info:
+            APIMExecutor().run(ExplodingWorkload(), elements=8)
+        assert isinstance(info.value.__cause__, ValueError)
 
     def test_fault_errors_importable_from_resilience_surface(self):
         """The resilience subsystem raises exactly these types."""

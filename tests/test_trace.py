@@ -97,3 +97,53 @@ class TestLedgerTrace:
         engine = APIMEngine()
         with pytest.raises(ConfigurationError):
             ledger_to_chrome_trace(engine.ledger, lanes=0)
+
+
+class TestChromeTraceWriter:
+    def _writer(self, tmp_path, **kwargs):
+        from repro.runtime.trace import ChromeTraceWriter
+
+        return ChromeTraceWriter(str(tmp_path / "trace.json"), **kwargs)
+
+    def test_file_is_loadable_after_every_event(self, tmp_path):
+        writer = self._writer(tmp_path)
+        for i in range(3):
+            writer.slice(f"op{i}", ts_us=float(i), dur_us=1.0)
+            payload = json.loads((tmp_path / "trace.json").read_text())
+            assert len(payload["traceEvents"]) == i + 1
+
+    def test_flush_on_failure_path(self, tmp_path):
+        """The context manager flushes buffered events even while an
+        exception propagates — and never swallows it."""
+        path = tmp_path / "trace.json"
+        with pytest.raises(RuntimeError):
+            with self._writer(tmp_path, flush_every=100) as writer:
+                writer.instant("attempt", ts_us=0.0)
+                writer.instant("failure", ts_us=5.0)
+                assert not path.exists()  # still buffered
+                raise RuntimeError("run died mid-campaign")
+        payload = json.loads(path.read_text())
+        names = [e["name"] for e in payload["traceEvents"]]
+        assert names == ["attempt", "failure"]
+
+    def test_batched_flush_policy(self, tmp_path):
+        path = tmp_path / "trace.json"
+        writer = self._writer(tmp_path, flush_every=2)
+        writer.instant("a", ts_us=0.0)
+        assert not path.exists()
+        writer.instant("b", ts_us=1.0)
+        assert len(json.loads(path.read_text())["traceEvents"]) == 2
+
+    def test_close_is_idempotent_and_final(self, tmp_path):
+        writer = self._writer(tmp_path, flush_every=10)
+        writer.instant("only", ts_us=0.0)
+        writer.close()
+        writer.close()
+        payload = json.loads((tmp_path / "trace.json").read_text())
+        assert [e["name"] for e in payload["traceEvents"]] == ["only"]
+        with pytest.raises(ConfigurationError):
+            writer.instant("late", ts_us=1.0)
+
+    def test_bad_flush_interval_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            self._writer(tmp_path, flush_every=0)
