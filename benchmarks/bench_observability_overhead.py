@@ -1,0 +1,111 @@
+"""Observability overhead: instrumentation must cost <5% (not a paper artifact).
+
+The observability subsystem exists so later performance PRs can *measure*
+their wins; that only works if the measuring layer itself is close to
+free.  This bench executes the same workload
+:mod:`bench_simulator_performance` uses for its end-to-end throughput
+number (Sobel at 4096 elements) through the fully instrumented
+:class:`~repro.runtime.executor.APIMExecutor`, once with observability
+enabled and once disabled, and asserts the enabled arm is within 5% of
+the disabled arm.  The measured pair is emitted as
+``BENCH_observability.json`` so CI archives the overhead trajectory
+alongside the perf benches.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro import observability
+from repro.observability import MetricsRegistry, set_default_registry
+from repro.runtime.executor import APIMExecutor
+from repro.workloads import workload_by_name
+
+WORKLOAD = "Sobel"
+ELEMENTS = 1 << 12
+REPEATS = 5
+ARTIFACT = "BENCH_observability.json"
+#: Acceptance ceiling on (enabled - disabled) / disabled.
+MAX_OVERHEAD = 0.05
+
+
+def _run_once(executor: APIMExecutor, workload, data) -> float:
+    start = time.perf_counter()
+    executor.run(workload, data=data)
+    return time.perf_counter() - start
+
+
+def _measure(enabled: bool) -> float:
+    """Best-of-N wall time for one instrumented/uninstrumented execution.
+
+    Best-of is the right statistic for an overhead bound: scheduler noise
+    only ever adds time, so the minimum is the cleanest view of the code
+    path's true cost.
+    """
+    workload = workload_by_name(WORKLOAD)
+    data = workload.generate(ELEMENTS, np.random.default_rng(5))
+    executor = APIMExecutor()
+    if enabled:
+        observability.enable()
+        previous = set_default_registry(MetricsRegistry())
+    else:
+        previous = None
+        observability.disable()
+    try:
+        _run_once(executor, workload, data)  # warm-up: caches, allocators
+        return min(
+            _run_once(executor, workload, data) for _ in range(REPEATS)
+        )
+    finally:
+        observability.enable()
+        if previous is not None:
+            set_default_registry(previous)
+
+
+def test_instrumentation_overhead_under_five_percent(benchmark, bench_rounds):
+    """The tentpole guarantee: metrics + spans cost <5% on the end-to-end
+    workload execution path."""
+    disabled_s = _measure(enabled=False)
+    enabled_s = benchmark.pedantic(
+        lambda: _measure(enabled=True), rounds=bench_rounds, iterations=1
+    )
+    overhead = (enabled_s - disabled_s) / disabled_s
+    payload = {
+        "workload": WORKLOAD,
+        "elements": ELEMENTS,
+        "repeats": REPEATS,
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "overhead_fraction": overhead,
+        "ceiling_fraction": MAX_OVERHEAD,
+    }
+    with open(ARTIFACT, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    print()
+    print(f"observability overhead on {WORKLOAD}/{ELEMENTS}: "
+          f"disabled {disabled_s * 1e3:.2f} ms, "
+          f"enabled {enabled_s * 1e3:.2f} ms, "
+          f"overhead {overhead * 100:+.2f}% "
+          f"(ceiling {MAX_OVERHEAD * 100:.0f}%)")
+    assert overhead < MAX_OVERHEAD, (
+        f"instrumentation overhead {overhead * 100:.2f}% exceeds the "
+        f"{MAX_OVERHEAD * 100:.0f}% ceiling"
+    )
+
+
+def test_disabled_path_records_nothing():
+    """With observability off, a run must leave the registry untouched."""
+    registry = MetricsRegistry()
+    previous = set_default_registry(registry)
+    observability.disable()
+    try:
+        workload = workload_by_name(WORKLOAD)
+        data = workload.generate(256, np.random.default_rng(0))
+        APIMExecutor().run(workload, data=data)
+    finally:
+        observability.enable()
+        set_default_registry(previous)
+    assert registry.families() == ()

@@ -13,6 +13,8 @@ Commands:
   (``--retries/--deadline``) and checkpointed (``--checkpoint/--resume``).
 - ``chaos`` — fault-injected supervised campaign: completion yield,
   retry counts and degradation mix versus injected fault rate.
+- ``metrics`` — run a supervised workload grid under full instrumentation
+  and dump (or serve) the Prometheus scrape.
 - ``workloads`` — list available workloads.
 """
 
@@ -133,6 +135,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "metrics",
+        help="run an instrumented workload grid and dump the "
+        "Prometheus scrape",
+    )
+    p.add_argument("--workload", default="Sobel")
+    p.add_argument("--levels", type=int, nargs="+", default=[0, 16])
+    p.add_argument("--tile", type=int, default=1 << 10)
+    p.add_argument("--retries", type=int, default=3)
+    p.add_argument("--seed", type=int, default=2017)
+    p.add_argument(
+        "-o", "--output", default=None,
+        help="write the exposition to a file instead of stdout",
+    )
+    p.add_argument(
+        "--jsonl", default=None,
+        help="also append a JSONL metrics snapshot to this file",
+    )
+    p.add_argument(
+        "--serve", type=int, default=None, metavar="PORT",
+        help="serve the scrape at http://localhost:PORT/metrics "
+        "(Ctrl-C to stop)",
+    )
+    p.add_argument(
+        "--trace", default=None,
+        help="stream span timings to a Chrome trace file",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="tiny smoke grid (CI): one level, small tile",
+    )
+
+    p = sub.add_parser(
         "faults", help="fault-injection campaign: yield vs spare budget"
     )
     p.add_argument(
@@ -244,6 +278,98 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Run one workload's grid fully instrumented; dump/serve the scrape."""
+    from repro.observability import (
+        JsonlSnapshotSink,
+        MetricsRegistry,
+        default_profiler,
+        set_default_registry,
+        to_prometheus,
+    )
+    from repro.runtime.campaign import run_campaign
+    from repro.runtime.supervisor import RetryPolicy, Supervisor
+
+    levels = [0] if args.quick else list(args.levels)
+    tile = (1 << 8) if args.quick else args.tile
+
+    # A fresh registry per invocation: the scrape describes this run, not
+    # whatever executed earlier in the process.
+    registry = MetricsRegistry()
+    previous = set_default_registry(registry)
+    profiler = default_profiler()
+    trace = None
+    try:
+        if args.trace:
+            from repro.runtime.trace import ChromeTraceWriter
+
+            trace = profiler.trace = ChromeTraceWriter(args.trace)
+        supervisor = Supervisor(
+            retry=RetryPolicy(
+                max_attempts=args.retries, jitter_seed=args.seed
+            ),
+        )
+        result = run_campaign(
+            [args.workload], levels,
+            tile_elements=tile,
+            supervisor=supervisor,
+            seed=args.seed,
+        )
+        text = to_prometheus(registry)
+        if args.jsonl:
+            with JsonlSnapshotSink(args.jsonl) as sink:
+                sink.write(
+                    registry,
+                    workload=args.workload,
+                    points=len(result.points),
+                )
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"metrics written to {args.output}")
+        else:
+            print(text, end="")
+        if args.serve is not None:
+            _serve_metrics(registry, args.serve)
+    finally:
+        if trace is not None:
+            profiler.trace = None
+            trace.close()
+        set_default_registry(previous)
+    return 0
+
+
+def _serve_metrics(registry, port: int) -> None:  # pragma: no cover - manual
+    """Serve the live scrape over HTTP until interrupted."""
+    from http.server import BaseHTTPRequestHandler, HTTPServer
+
+    from repro.observability import to_prometheus
+
+    class Handler(BaseHTTPRequestHandler):
+        def do_GET(self):
+            body = to_prometheus(registry).encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, *_args):
+            pass
+
+    server = HTTPServer(("localhost", port), Handler)
+    print(f"serving metrics at http://localhost:{port}/metrics "
+          "(Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+
+
 def _cmd_workloads() -> str:
     lines = ["paper workloads (Table 1):"]
     for w in all_workloads():
@@ -310,6 +436,8 @@ def main(argv: list[str] | None = None) -> int:
             print(text, end="")
     elif args.command == "chaos":
         return _cmd_chaos(args)
+    elif args.command == "metrics":
+        return _cmd_metrics(args)
     elif args.command == "faults":
         from repro.resilience import campaign_table, run_fault_campaign
 

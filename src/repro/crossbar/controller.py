@@ -34,6 +34,7 @@ from typing import Any, Sequence
 from repro.core.cost import Cost
 from repro.crossbar.block import BlockedCrossbar
 from repro.errors import CrossbarError
+from repro.observability.instruments import record_controller_command
 
 __all__ = [
     "Command",
@@ -210,6 +211,9 @@ class MemoryController:
         """Run one command; RD returns (and records) the word read."""
         self.log.append(command)
         op, a = command.opcode, command.args
+        record_controller_command(
+            op, cells=len(a[1]) if op in ("INIT", "NOR") else 0
+        )
         fabric = self.fabric
         if op == "WR":
             fabric.write_word(a[0], a[1], a[2], a[3])

@@ -85,3 +85,10 @@ class CircuitOpenError(ReproError):
 class CheckpointError(ReproError):
     """The campaign checkpoint journal is unusable: an unwritable path, or
     corruption beyond the recoverable torn-tail case."""
+
+
+class ObservabilityError(ReproError):
+    """Metrics/profiling misuse: an invalid metric or label name, a
+    re-registration that conflicts with an existing family (different kind,
+    labels or buckets), a negative counter increment, or non-monotonic
+    histogram buckets."""

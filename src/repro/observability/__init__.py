@@ -1,0 +1,63 @@
+"""Observability: metrics registry, span profiling and telemetry export.
+
+The subsystem has four small parts:
+
+- :mod:`repro.observability.registry` — labelled counters, gauges and
+  fixed-bucket histograms in a process-wide :class:`MetricsRegistry`;
+- :mod:`repro.observability.spans` — the :func:`span` context manager:
+  hierarchical wall-clock profiling feeding both the registry and the
+  Chrome trace writer from one instrumentation point;
+- :mod:`repro.observability.export` — Prometheus text exposition and
+  JSONL snapshot sink;
+- :mod:`repro.observability.instruments` — the domain metric families the
+  executor, supervisor, campaign, checkpoint, resilience and controller
+  layers emit into.
+
+See ``docs/observability.md`` for naming conventions and usage.
+"""
+
+from repro.observability.export import JsonlSnapshotSink, snapshot, to_prometheus
+from repro.observability.registry import (
+    DEFAULT_ENERGY_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active_registry,
+    default_registry,
+    disable,
+    enable,
+    enabled,
+    exponential_buckets,
+    set_default_registry,
+)
+from repro.observability.spans import (
+    SpanProfiler,
+    SpanRecord,
+    default_profiler,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSnapshotSink",
+    "MetricsRegistry",
+    "SpanProfiler",
+    "SpanRecord",
+    "DEFAULT_ENERGY_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "active_registry",
+    "default_profiler",
+    "default_registry",
+    "disable",
+    "enable",
+    "enabled",
+    "exponential_buckets",
+    "set_default_registry",
+    "snapshot",
+    "span",
+    "to_prometheus",
+]

@@ -1,0 +1,156 @@
+"""Metric exporters: Prometheus text exposition and JSONL snapshots.
+
+Two consumers, two formats:
+
+- :func:`to_prometheus` renders the registry in the Prometheus text
+  exposition format (version 0.0.4): ``# HELP`` / ``# TYPE`` headers, one
+  sample per line, histograms as cumulative ``_bucket{le=...}`` series
+  plus ``_sum`` / ``_count``.  The output is byte-deterministic for a
+  given registry state (families sorted by name, children by label
+  values), which is what makes the golden-file test possible.
+- :func:`snapshot` flattens the registry into plain JSON-able dicts, and
+  :class:`JsonlSnapshotSink` appends one snapshot per line to a file — the
+  fleet-telemetry shape: a long-running campaign drops periodic snapshots
+  and a later analysis pass diffs adjacent lines for rates.
+
+Timestamps come from the registry's injectable clock, so deterministic
+tests produce deterministic snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ObservabilityError
+from repro.observability.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["JsonlSnapshotSink", "snapshot", "to_prometheus"]
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value: integral floats without the trailing ``.0``."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _labels_text(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label(str(value))}"'
+        for name, value in merged.items()
+    )
+    return "{" + body + "}"
+
+
+def _bound_text(bound: float) -> str:
+    return _fmt(bound) if bound == int(bound) else f"{bound:g}"
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The whole registry as Prometheus text exposition (0.0.4)."""
+    lines: list[str] = []
+    for family in registry.families():
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        if isinstance(family, Histogram):
+            for labels, child in family.samples():
+                cumulative = child.cumulative()
+                for bound, count in zip(family.buckets, cumulative):
+                    le = _labels_text(labels, {"le": _bound_text(bound)})
+                    lines.append(f"{family.name}_bucket{le} {count}")
+                inf = _labels_text(labels, {"le": "+Inf"})
+                lines.append(f"{family.name}_bucket{inf} {cumulative[-1]}")
+                plain = _labels_text(labels)
+                lines.append(f"{family.name}_sum{plain} {_fmt(child.sum)}")
+                lines.append(f"{family.name}_count{plain} {child.count}")
+        elif isinstance(family, (Counter, Gauge)):
+            for labels, child in family.samples():
+                lines.append(
+                    f"{family.name}{_labels_text(labels)} "
+                    f"{_fmt(child.value)}"
+                )
+        else:  # pragma: no cover - no other kinds exist
+            raise ObservabilityError(f"unknown family kind {family.kind!r}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def snapshot(registry: MetricsRegistry) -> dict:
+    """The registry as one JSON-able dict (see module docstring)."""
+    metrics: dict[str, dict] = {}
+    for family in registry.families():
+        samples = []
+        for labels, child in family.samples():
+            if isinstance(family, Histogram):
+                samples.append(
+                    {
+                        "labels": labels,
+                        "buckets": list(family.buckets),
+                        "counts": list(child.counts),
+                        "sum": child.sum,
+                        "count": child.count,
+                    }
+                )
+            else:
+                samples.append({"labels": labels, "value": child.value})
+        metrics[family.name] = {
+            "kind": family.kind,
+            "help": family.help,
+            "samples": samples,
+        }
+    return {"ts": registry.clock(), "metrics": metrics}
+
+
+class JsonlSnapshotSink:
+    """Appends registry snapshots to a JSONL file, one per :meth:`write`.
+
+    The append-only shape mirrors the campaign checkpoint journal: crash
+    mid-write and the worst case is one torn final line, which any tolerant
+    JSONL reader skips.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        try:
+            self._handle = open(path, "a", encoding="utf-8")
+        except OSError as exc:
+            raise ObservabilityError(
+                f"cannot open snapshot sink {path!r}: {exc}"
+            ) from exc
+
+    def write(self, registry: MetricsRegistry, **extra) -> dict:
+        """Append one snapshot (plus caller context fields); returns it."""
+        if self._handle is None:
+            raise ObservabilityError(f"sink {self.path!r} is closed")
+        record = snapshot(registry)
+        record.update(extra)
+        self._handle.write(
+            json.dumps(record, separators=(",", ":"), sort_keys=True) + "\n"
+        )
+        self._handle.flush()
+        return record
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlSnapshotSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,340 @@
+"""Domain instrumentation: the metric families the runtime layers emit.
+
+Every hot layer of the stack calls one small helper here instead of
+touching the registry directly, which buys three things: the metric
+*names* live in one place (the naming conventions are documented in
+``docs/observability.md``), the per-call cost is a cached attribute lookup
+plus a counter add, and disabling observability turns every helper into an
+early-return — the property the overhead benchmark certifies.
+
+Family handles are built once per registry and cached on it, so swapping
+the default registry (tests, per-CLI-run isolation) transparently re-binds
+all instrumentation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.observability.registry import (
+    DEFAULT_ENERGY_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    active_registry,
+)
+
+if TYPE_CHECKING:
+    from repro.runtime.executor import ExecutionResult
+
+__all__ = [
+    "record_backoff",
+    "record_bist_scan",
+    "record_breaker_transition",
+    "record_campaign_point",
+    "record_checkpoint_append",
+    "record_checkpoint_recovery",
+    "record_controller_command",
+    "record_execution",
+    "record_residue_mismatch",
+    "record_resilience_degraded",
+    "record_resilience_repair",
+    "record_resilience_retry",
+    "record_supervision_event",
+]
+
+#: Rows a command activates (read or write wordline pulses), per opcode.
+#: MAJ drives three wordlines together and writes one back; CPY reads the
+#: source row and writes the destination; NOR/INIT/TICK act on cells or
+#: the clock, not whole rows.
+_ROW_ACTIVATIONS = {
+    "WR": 1, "RD": 1, "CLR": 1, "CPY": 2, "MAJ": 4, "RETIRE": 2,
+}
+
+
+class _Instruments:
+    """All family handles, resolved once against one registry."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        # -- executor --------------------------------------------------------
+        self.executor_runs = registry.counter(
+            "repro_executor_runs_total",
+            "Workload executions finished, by terminal status.",
+            ("workload", "status"),
+        )
+        self.executor_ops = registry.counter(
+            "repro_executor_ops_total",
+            "Arithmetic operations executed on the APIM engine.",
+            ("workload", "op"),
+        )
+        self.executor_cycles = registry.counter(
+            "repro_executor_cycles_total",
+            "Simulated lane-cycles consumed by workload executions.",
+            ("workload",),
+        )
+        self.executor_energy = registry.counter(
+            "repro_executor_energy_joules_total",
+            "Simulated energy consumed by workload executions.",
+            ("workload",),
+        )
+        self.executor_faults = registry.counter(
+            "repro_executor_faults_total",
+            "Fault-handling activity surfaced by executions.",
+            ("workload", "kind"),
+        )
+        self.executor_latency = registry.histogram(
+            "repro_executor_time_seconds",
+            "Simulated tile latency per execution.",
+            ("workload",),
+            DEFAULT_LATENCY_BUCKETS,
+        )
+        self.executor_energy_hist = registry.histogram(
+            "repro_executor_energy_joules",
+            "Simulated tile energy per execution.",
+            ("workload",),
+            DEFAULT_ENERGY_BUCKETS,
+        )
+        # -- supervisor ------------------------------------------------------
+        self.supervisor_events = registry.counter(
+            "repro_supervisor_events_total",
+            "Supervision lifecycle events (attempt/retry/success/failure).",
+            ("kind",),
+        )
+        self.supervisor_retries = registry.counter(
+            "repro_supervisor_retries_total",
+            "Supervised attempts that were retried after a retryable error.",
+        )
+        self.supervisor_backoff = registry.histogram(
+            "repro_supervisor_backoff_seconds",
+            "Backoff delays slept between supervised attempts.",
+            (),
+            DEFAULT_LATENCY_BUCKETS,
+        )
+        self.breaker_transitions = registry.counter(
+            "repro_breaker_transitions_total",
+            "Circuit-breaker state transitions.",
+            ("state",),
+        )
+        # -- campaign / checkpoint -------------------------------------------
+        self.campaign_points = registry.counter(
+            "repro_campaign_points_total",
+            "Campaign grid points finished, by terminal status.",
+            ("status",),
+        )
+        self.campaign_resumed = registry.counter(
+            "repro_campaign_points_resumed_total",
+            "Grid points skipped because the journal proved them complete.",
+        )
+        self.checkpoint_appends = registry.counter(
+            "repro_checkpoint_appends_total",
+            "Records appended to the write-ahead journal, by type.",
+            ("type",),
+        )
+        self.checkpoint_fsyncs = registry.counter(
+            "repro_checkpoint_fsyncs_total",
+            "Journal fsync barriers paid (one per append).",
+        )
+        self.checkpoint_recovered = registry.counter(
+            "repro_checkpoint_recovered_total",
+            "Torn-tail records dropped while recovering a journal.",
+        )
+        # -- resilience ------------------------------------------------------
+        self.bist_scans = registry.counter(
+            "repro_resilience_bist_scans_total",
+            "March-test BIST scans executed.",
+        )
+        self.stuck_cells = registry.counter(
+            "repro_resilience_stuck_cells_total",
+            "Stuck cells condemned by BIST scans.",
+        )
+        self.residue_mismatches = registry.counter(
+            "repro_resilience_residue_mismatches_total",
+            "Elements flagged by the online mod-3 residue check.",
+        )
+        self.resilience_repairs = registry.counter(
+            "repro_resilience_repairs_total",
+            "Rows moved off faulty cells, by mechanism.",
+            ("mechanism",),
+        )
+        self.resilience_retries = registry.counter(
+            "repro_resilience_retries_total",
+            "Element re-execution rounds run by the resilience loop.",
+        )
+        self.resilience_degraded = registry.counter(
+            "repro_resilience_degraded_total",
+            "Elements kept corrupted after the repair budget ran out.",
+        )
+        # -- crossbar controller ---------------------------------------------
+        self.controller_commands = registry.counter(
+            "repro_controller_commands_total",
+            "Controller commands executed, by opcode.",
+            ("opcode",),
+        )
+        self.controller_magic_ops = registry.counter(
+            "repro_controller_magic_ops_total",
+            "MAGIC NOR evaluations issued through the controller.",
+        )
+        self.controller_row_activations = registry.counter(
+            "repro_controller_row_activations_total",
+            "Wordline activations driven by controller commands.",
+        )
+
+
+def _instruments() -> _Instruments | None:
+    registry = active_registry()
+    if registry is None:
+        return None
+    cached = getattr(registry, "_repro_instruments", None)
+    if cached is None:
+        cached = _Instruments(registry)
+        registry._repro_instruments = cached
+    return cached
+
+
+# -- executor -----------------------------------------------------------------
+
+
+def record_execution(result: "ExecutionResult") -> None:
+    """Roll one :class:`~repro.runtime.executor.ExecutionResult` into the
+    executor families (ops, cycles, energy, faults, latency/energy
+    distributions)."""
+    inst = _instruments()
+    if inst is None:
+        return
+    w = result.workload
+    inst.executor_runs.labels(workload=w, status=result.status).inc()
+    inst.executor_ops.labels(workload=w, op="mul").inc(result.mul_count)
+    inst.executor_ops.labels(workload=w, op="add").inc(result.add_count)
+    inst.executor_cycles.labels(workload=w).inc(result.cost.cycles)
+    inst.executor_energy.labels(workload=w).inc(result.energy)
+    inst.executor_latency.labels(workload=w).observe(result.time)
+    inst.executor_energy_hist.labels(workload=w).observe(result.energy)
+    for kind, count in (
+        ("detected", result.faults_detected),
+        ("repaired", result.repairs),
+        ("retried", result.retries),
+    ):
+        if count:
+            inst.executor_faults.labels(workload=w, kind=kind).inc(count)
+
+
+# -- supervisor ---------------------------------------------------------------
+
+
+def record_supervision_event(kind: str) -> None:
+    """Count one supervision lifecycle event.
+
+    ``attempt`` also materialises the retry counter at zero, so a scrape of
+    a perfectly healthy run still exposes ``repro_supervisor_retries_total``
+    (dashboards need the series to exist before it is interesting)."""
+    inst = _instruments()
+    if inst is None:
+        return
+    inst.supervisor_events.labels(kind=kind).inc()
+    if kind == "attempt":
+        inst.supervisor_retries.inc(0)
+    elif kind == "retry":
+        inst.supervisor_retries.inc()
+
+
+def record_backoff(delay_s: float) -> None:
+    """Observe one backoff sleep into the delay distribution."""
+    inst = _instruments()
+    if inst is not None:
+        inst.supervisor_backoff.observe(delay_s)
+
+
+def record_breaker_transition(state: str) -> None:
+    """Count a breaker transition (``open``/``half_open``/``closed``)."""
+    inst = _instruments()
+    if inst is not None:
+        inst.breaker_transitions.labels(state=state).inc()
+
+
+# -- campaign / checkpoint ----------------------------------------------------
+
+
+def record_campaign_point(status: str, resumed: bool = False) -> None:
+    """Count one terminal grid point (``resumed=True`` for journal skips)."""
+    inst = _instruments()
+    if inst is None:
+        return
+    inst.campaign_points.labels(status=status).inc()
+    if resumed:
+        inst.campaign_resumed.inc()
+
+
+def record_checkpoint_append(record_type: str) -> None:
+    """Count one journal append and its fsync barrier."""
+    inst = _instruments()
+    if inst is None:
+        return
+    inst.checkpoint_appends.labels(type=record_type).inc()
+    inst.checkpoint_fsyncs.inc()
+
+
+def record_checkpoint_recovery(dropped: int) -> None:
+    """Count torn-tail records dropped by journal recovery."""
+    inst = _instruments()
+    if inst is not None and dropped:
+        inst.checkpoint_recovered.inc(dropped)
+
+
+# -- resilience ---------------------------------------------------------------
+
+
+def record_bist_scan(stuck_cells: int) -> None:
+    """Count one BIST scan and the stuck cells it condemned."""
+    inst = _instruments()
+    if inst is None:
+        return
+    inst.bist_scans.inc()
+    if stuck_cells:
+        inst.stuck_cells.inc(stuck_cells)
+
+
+def record_residue_mismatch(elements: int) -> None:
+    """Count elements flagged by the online residue check."""
+    inst = _instruments()
+    if inst is not None and elements:
+        inst.residue_mismatches.inc(elements)
+
+
+def record_resilience_repair(mechanism: str) -> None:
+    """Count one row replacement (``spare`` or ``relocate``)."""
+    inst = _instruments()
+    if inst is not None:
+        inst.resilience_repairs.labels(mechanism=mechanism).inc()
+
+
+def record_resilience_retry(elements: int) -> None:
+    """Count one re-execution round covering ``elements`` elements."""
+    inst = _instruments()
+    if inst is not None:
+        inst.resilience_retries.inc()
+
+
+def record_resilience_degraded(elements: int) -> None:
+    """Count elements surrendered to corruption by policy."""
+    inst = _instruments()
+    if inst is not None and elements:
+        inst.resilience_degraded.inc(elements)
+
+
+# -- crossbar controller ------------------------------------------------------
+
+
+def record_controller_command(opcode: str, cells: int = 0) -> None:
+    """Count one controller command.
+
+    ``cells`` is the cell count of NOR/INIT commands; a NOR command is one
+    MAGIC evaluation regardless of fan-in, INITs pre-stage cells for free.
+    """
+    inst = _instruments()
+    if inst is None:
+        return
+    inst.controller_commands.labels(opcode=opcode).inc()
+    if opcode == "NOR":
+        inst.controller_magic_ops.inc()
+    rows = _ROW_ACTIVATIONS.get(opcode, 0)
+    if rows:
+        inst.controller_row_activations.inc(rows)

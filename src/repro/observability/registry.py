@@ -1,0 +1,395 @@
+"""Process-wide metrics: labelled counters, gauges and histograms.
+
+The simulator's runtime layers (executor, supervisor, campaign, resilience,
+crossbar controller) emit into one :class:`MetricsRegistry` so a single
+scrape answers "where did the cycles, energy, retries and wall-clock go?".
+The design follows the Prometheus data model:
+
+- a **family** is a named metric with a fixed label schema
+  (``repro_executor_ops_total{workload, op}``); registration is idempotent,
+  so instrumentation sites can declare their families at call time without
+  coordinating module import order;
+- a **child** is one labelled time series inside a family; children are
+  cached by label values, so the hot-loop cost of an update is one dict
+  lookup plus one float add;
+- **histograms** use fixed buckets chosen at registration
+  (:func:`exponential_buckets` for latency/energy, whose dynamic range
+  spans many decades); observation is a bisect over the bound list.
+
+The registry's clock is injectable (it stamps snapshots, see
+:mod:`repro.observability.export`), so tests and the chaos harness run on
+:class:`~repro.runtime.supervisor.ManualClock` time and stay deterministic.
+
+A module-level default registry backs the zero-setup path: instrumentation
+helpers write through :func:`active_registry`, which returns ``None`` while
+observability is :func:`disable`-d — the overhead benchmark uses exactly
+this switch to price the instrumentation layer.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+import time
+from bisect import bisect_left
+from typing import Callable, Iterable
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "active_registry",
+    "default_registry",
+    "disable",
+    "enable",
+    "enabled",
+    "exponential_buckets",
+    "set_default_registry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_ENERGY_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+
+
+def exponential_buckets(
+    start: float, factor: float, count: int
+) -> tuple[float, ...]:
+    """``count`` upper bounds growing geometrically from ``start``.
+
+    The standard shape for latency and energy distributions, whose
+    interesting structure spans decades: ``exponential_buckets(1e-6, 4, 15)``
+    covers one microsecond to about a quarter hour.
+    """
+    if start <= 0:
+        raise ObservabilityError(f"bucket start must be positive: {start}")
+    if factor <= 1:
+        raise ObservabilityError(f"bucket factor must exceed 1: {factor}")
+    if count < 1:
+        raise ObservabilityError(f"need at least one bucket: {count}")
+    return tuple(start * factor**i for i in range(count))
+
+
+#: Simulated/wall latency bounds: 1 us .. ~17 min in x4 steps.
+DEFAULT_LATENCY_BUCKETS = exponential_buckets(1e-6, 4.0, 15)
+#: Energy bounds: 1 pJ .. ~10 J in x10 steps.
+DEFAULT_ENERGY_BUCKETS = exponential_buckets(1e-12, 10.0, 14)
+
+
+def _validate_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ObservabilityError(f"invalid metric name {name!r}")
+    return name
+
+
+def _validate_labels(labelnames: Iterable[str]) -> tuple[str, ...]:
+    names = tuple(labelnames)
+    for label in names:
+        if not _LABEL_RE.match(label):
+            raise ObservabilityError(f"invalid label name {label!r}")
+    if len(set(names)) != len(names):
+        raise ObservabilityError(f"duplicate label names in {names}")
+    return names
+
+
+class _Family:
+    """Shared machinery: a named metric plus its labelled children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: tuple[str, ...]):
+        self.name = _validate_name(name)
+        self.help = help
+        self.labelnames = _validate_labels(labelnames)
+        self._children: dict[tuple[str, ...], object] = {}
+        self._lock = threading.Lock()
+
+    def _make_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def labels(self, **labels):
+        """The child time series for these label values (created on first
+        use, cached forever after — the hot path is one dict hit)."""
+        if set(labels) != set(self.labelnames):
+            raise ObservabilityError(
+                f"{self.name}: got labels {sorted(labels)}, "
+                f"schema is {sorted(self.labelnames)}"
+            )
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(key, self._make_child())
+        return child
+
+    @property
+    def _default_child(self):
+        """The single child of an unlabelled family."""
+        if self.labelnames:
+            raise ObservabilityError(
+                f"{self.name} is labelled by {self.labelnames}; "
+                f"use .labels(...)"
+            )
+        return self.labels()
+
+    def samples(self) -> list[tuple[dict, object]]:
+        """``(labels dict, child)`` pairs in insertion order."""
+        return [
+            (dict(zip(self.labelnames, key)), child)
+            for key, child in sorted(self._children.items())
+        ]
+
+    def signature(self) -> tuple:
+        """What must match for an idempotent re-registration."""
+        return (self.kind, self.labelnames)
+
+
+class _CounterChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counters are monotonic; cannot add {amount}"
+            )
+        self.value += amount
+
+
+class Counter(_Family):
+    """A monotonically increasing sum (events, ops, cycles, joules)."""
+
+    kind = "counter"
+
+    def _make_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the unlabelled series."""
+        self._default_child.inc(amount)
+
+    @property
+    def value(self) -> float:
+        """The unlabelled series' current total."""
+        return self._default_child.value
+
+
+class _GaugeChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Gauge(_Family):
+    """A value that goes both ways (breaker state, in-flight points)."""
+
+    kind = "gauge"
+
+    def _make_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        self._default_child.set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child.inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default_child.dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default_child.value
+
+
+class _HistogramChild:
+    __slots__ = ("bounds", "counts", "sum")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            raise ObservabilityError("cannot observe NaN")
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts)
+
+    def cumulative(self) -> list[int]:
+        """Per-bound cumulative counts, Prometheus style (``le`` semantics),
+        ending with the +Inf bucket equal to :attr:`count`."""
+        out, running = [], 0
+        for count in self.counts:
+            running += count
+            out.append(running)
+        return out
+
+
+class Histogram(_Family):
+    """A fixed-bucket distribution (``le`` upper-bound semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...],
+        buckets: tuple[float, ...],
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ObservabilityError(f"{name}: need at least one bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ObservabilityError(
+                f"{name}: bucket bounds must increase strictly: {bounds}"
+            )
+        if any(not math.isfinite(b) for b in bounds):
+            raise ObservabilityError(
+                f"{name}: bounds must be finite (+Inf is implicit)"
+            )
+        self.buckets = bounds
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        """Observe into the unlabelled series."""
+        self._default_child.observe(value)
+
+    def signature(self) -> tuple:
+        return (self.kind, self.labelnames, self.buckets)
+
+
+class MetricsRegistry:
+    """Owns metric families; one per process is the intended shape.
+
+    ``clock`` stamps exported snapshots; inject a
+    :class:`~repro.runtime.supervisor.ManualClock` for deterministic tests.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self.clock = clock
+        self._families: dict[str, _Family] = {}
+        self._lock = threading.Lock()
+
+    def _register(self, family: _Family) -> _Family:
+        with self._lock:
+            existing = self._families.get(family.name)
+            if existing is None:
+                self._families[family.name] = family
+                return family
+        if existing.signature() != family.signature():
+            raise ObservabilityError(
+                f"{family.name} already registered with signature "
+                f"{existing.signature()}, conflicting with "
+                f"{family.signature()}"
+            )
+        return existing
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Iterable[str] = ()
+    ) -> Counter:
+        """Get-or-create a counter family (idempotent)."""
+        return self._register(Counter(name, help, tuple(labelnames)))
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Iterable[str] = ()
+    ) -> Gauge:
+        """Get-or-create a gauge family (idempotent)."""
+        return self._register(Gauge(name, help, tuple(labelnames)))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        """Get-or-create a histogram family (idempotent)."""
+        return self._register(
+            Histogram(name, help, tuple(labelnames), tuple(buckets))
+        )
+
+    def get(self, name: str) -> _Family | None:
+        """The family registered under ``name``, if any."""
+        return self._families.get(name)
+
+    def families(self) -> tuple[_Family, ...]:
+        """All families, sorted by name (the exposition order)."""
+        return tuple(
+            self._families[name] for name in sorted(self._families)
+        )
+
+    def clear(self) -> None:
+        """Drop every family and series (tests / fresh CLI runs)."""
+        with self._lock:
+            self._families.clear()
+
+
+# --- the process-wide default -----------------------------------------------
+
+_default = MetricsRegistry()
+_enabled = True
+_state_lock = threading.Lock()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry instrumentation writes to by default."""
+    return _default
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry (returns the previous one)."""
+    global _default
+    with _state_lock:
+        previous, _default = _default, registry
+    return previous
+
+
+def enable() -> None:
+    """Turn instrumentation on (the default)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn instrumentation off: :func:`active_registry` returns ``None``
+    and every helper in :mod:`repro.observability.instruments` becomes a
+    no-op — this is the baseline arm of the overhead benchmark."""
+    global _enabled
+    _enabled = False
+
+
+def enabled() -> bool:
+    """Whether instrumentation currently records anything."""
+    return _enabled
+
+
+def active_registry() -> MetricsRegistry | None:
+    """The default registry, or ``None`` while observability is disabled."""
+    return _default if _enabled else None

@@ -1,0 +1,174 @@
+"""Hierarchical span profiling: one instrumentation point, two outputs.
+
+``with span("executor.run", workload="Sobel"):`` measures a region of wall
+clock and publishes it twice from the same measurement:
+
+- a ``repro_span_duration_seconds{name}`` histogram observation in the
+  metrics registry (aggregate view: "how long do executor runs take?");
+- a duration slice in a :class:`~repro.runtime.trace.ChromeTraceWriter`,
+  when one is attached (timeline view: "what was running at t=3.2 s?") —
+  stamped with the real thread id so concurrent executors render on
+  separate tracks.
+
+Spans nest: each thread keeps its own stack, a completed span attaches to
+its parent (or becomes a root), and the finished tree is available on the
+profiler for programmatic inspection.  The clock is injectable, so tests
+assert exact durations instead of sleeping.
+
+When observability is disabled (:func:`repro.observability.disable`), the
+module-level :func:`span` returns a shared ``nullcontext`` — a single
+global check and no allocation, which is what keeps instrumentation in hot
+paths essentially free for the overhead benchmark's baseline arm.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.observability.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    active_registry,
+)
+
+if TYPE_CHECKING:
+    from repro.runtime.trace import ChromeTraceWriter
+
+__all__ = ["SpanProfiler", "SpanRecord", "default_profiler", "span"]
+
+#: Family every span duration lands in, labelled by span name.
+SPAN_HISTOGRAM = "repro_span_duration_seconds"
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or in-flight) profiled region."""
+
+    name: str
+    start_s: float
+    end_s: float | None = None
+    attrs: dict = field(default_factory=dict)
+    children: list["SpanRecord"] = field(default_factory=list)
+    thread_id: int = 0
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock duration (0 while still open)."""
+        return 0.0 if self.end_s is None else self.end_s - self.start_s
+
+    def walk(self) -> Iterator["SpanRecord"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class SpanProfiler:
+    """Per-thread span stacks feeding the registry and an optional trace.
+
+    ``registry=None`` (the default) resolves
+    :func:`~repro.observability.registry.active_registry` at record time,
+    so one profiler honours enable/disable and registry swaps; pass an
+    explicit registry to pin it.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        trace: "ChromeTraceWriter | None" = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self._registry = registry
+        self.trace = trace
+        self.clock = clock
+        self._epoch = clock()
+        self._local = threading.local()
+        self._roots: list[SpanRecord] = []
+        self._lock = threading.Lock()
+
+    def _stack(self) -> list[SpanRecord]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _resolve_registry(self) -> MetricsRegistry | None:
+        return self._registry if self._registry is not None \
+            else active_registry()
+
+    @property
+    def roots(self) -> tuple[SpanRecord, ...]:
+        """Completed top-level spans, across all threads."""
+        with self._lock:
+            return tuple(self._roots)
+
+    def reset(self) -> None:
+        """Forget completed roots (per-run CLI hygiene)."""
+        with self._lock:
+            self._roots.clear()
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[SpanRecord]:
+        """Profile a region; yields the live :class:`SpanRecord` so callers
+        can attach attributes mid-flight."""
+        record = SpanRecord(
+            name=name,
+            start_s=self.clock(),
+            attrs=dict(attrs),
+            thread_id=threading.get_ident(),
+        )
+        stack = self._stack()
+        stack.append(record)
+        try:
+            yield record
+        finally:
+            record.end_s = self.clock()
+            stack.pop()
+            if stack:
+                stack[-1].children.append(record)
+            else:
+                with self._lock:
+                    self._roots.append(record)
+            self._publish(record)
+
+    def _publish(self, record: SpanRecord) -> None:
+        registry = self._resolve_registry()
+        if registry is not None:
+            registry.histogram(
+                SPAN_HISTOGRAM,
+                "Wall-clock duration of profiled spans.",
+                labelnames=("name",),
+                buckets=DEFAULT_LATENCY_BUCKETS,
+            ).labels(name=record.name).observe(record.duration_s)
+        if self.trace is not None:
+            self.trace.slice(
+                record.name,
+                ts_us=(record.start_s - self._epoch) * 1e6,
+                dur_us=record.duration_s * 1e6,
+                tid=record.thread_id,
+                **record.attrs,
+            )
+
+
+_default_profiler = SpanProfiler()
+_NULL_SPAN = nullcontext(None)
+
+
+def default_profiler() -> SpanProfiler:
+    """The process-wide profiler the module-level :func:`span` uses."""
+    return _default_profiler
+
+
+def span(name: str, **attrs):
+    """Profile a region through the default profiler.
+
+    Returns a shared null context while observability is disabled, so call
+    sites never pay for profiling they did not ask for.
+    """
+    if active_registry() is None and _default_profiler.trace is None:
+        return _NULL_SPAN
+    return _default_profiler.span(name, **attrs)

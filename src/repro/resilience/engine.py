@@ -36,6 +36,13 @@ from repro.core.engine import APIMEngine
 from repro.crossbar.block import BlockedCrossbar
 from repro.device.endurance import RotatingAllocator
 from repro.errors import DeviceError, FaultError, RecoveryError
+from repro.observability.instruments import (
+    record_bist_scan,
+    record_residue_mismatch,
+    record_resilience_degraded,
+    record_resilience_repair,
+    record_resilience_retry,
+)
 from repro.resilience.bist import MarchTester
 from repro.resilience.manager import ReliabilityEvent
 from repro.resilience.policy import ResiliencePolicy
@@ -224,6 +231,7 @@ class ResilientEngine(APIMEngine):
         self.events: list[ReliabilityEvent] = []
         if self.policy.enabled and self.policy.scan_on_start:
             found, retired, scan_cost = health.scan_and_retire()
+            record_bist_scan(found)
             self.ledger.charge("repair", scan_cost)
             if retired:
                 self.ledger.charge(
@@ -340,6 +348,7 @@ class ResilientEngine(APIMEngine):
                 if bad.size == 0:
                     break
                 self.faults_detected += int(bad.size)
+                record_residue_mismatch(int(bad.size))
                 self._record(
                     "fault_detected",
                     f"residue flagged {bad.size} element(s)",
@@ -347,6 +356,7 @@ class ResilientEngine(APIMEngine):
                 if attempts >= self.policy.max_retries:
                     if self.policy.on_unrecoverable == "degrade":
                         self.degraded += int(bad.size)
+                        record_resilience_degraded(int(bad.size))
                         self._record(
                             "degraded",
                             f"{bad.size} element(s) kept corrupted after "
@@ -361,6 +371,7 @@ class ResilientEngine(APIMEngine):
                 if not any(healed):
                     if self.policy.on_unrecoverable == "degrade":
                         self.degraded += int(bad.size)
+                        record_resilience_degraded(int(bad.size))
                         self._record(
                             "degraded",
                             f"no stuck cells found under {bad.size} "
@@ -373,6 +384,7 @@ class ResilientEngine(APIMEngine):
                     )
                 attempts += 1
                 self.retries += 1
+                record_resilience_retry(int(bad.size))
                 self._record("retry", f"re-executing {bad.size} element(s)")
                 redone = np.atleast_1d(
                     np.asarray(redo(bad), dtype=np.int64)
@@ -391,11 +403,15 @@ class ResilientEngine(APIMEngine):
         block, row = health.slot_for(index)
         physical = health.fabric.resolve_row(block, row)
         scan = health.tester.scan_block(health.fabric, block, rows=[physical])
+        record_bist_scan(len(scan.faults))
         self.ledger.charge("repair", scan.cost)
         if not scan.faults:
             return False
         health.faulty[block].update(site[0] for site in scan.faults)
         mechanism = health.retire_row(block, row)
+        record_resilience_repair(
+            "spare" if mechanism == "repair" else "relocate"
+        )
         self.ledger.charge(
             "repair", Cost(cycles=2, cell_writes=health.fabric.cols)
         )

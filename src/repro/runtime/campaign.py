@@ -36,6 +36,8 @@ from typing import TYPE_CHECKING
 from repro.core.approximation import EXACT, ApproxSpec
 from repro.core.config import APIMConfig
 from repro.errors import CircuitOpenError, ConfigurationError, ReproError
+from repro.observability import span
+from repro.observability.instruments import record_campaign_point
 from repro.quality.qos import QoSPolicy
 from repro.runtime.checkpoint import CheckpointJournal, load_journal
 from repro.runtime.comparison import ComparisonHarness
@@ -349,14 +351,18 @@ def run_campaign(
             for level in relax_levels:
                 key = point_key(workload.name, level, int(dataset_bytes))
                 if key in completed:
-                    points.append(completed[key])
+                    point = completed[key]
+                    record_campaign_point(point.status, resumed=True)
+                    points.append(point)
                     continue
                 if journal is not None:
                     journal.begin(key)
-                point = _run_point(
-                    workload, level, dataset_bytes, harness, supervisor,
-                    chaos, qos, max_relax_bits, degradation_step,
-                )
+                with span("campaign.point", key=key):
+                    point = _run_point(
+                        workload, level, dataset_bytes, harness, supervisor,
+                        chaos, qos, max_relax_bits, degradation_step,
+                    )
+                record_campaign_point(point.status)
                 if journal is not None:
                     journal.complete(key, dataclasses.asdict(point))
                 points.append(point)

@@ -31,6 +31,10 @@ import os
 from dataclasses import dataclass
 
 from repro.errors import CheckpointError
+from repro.observability.instruments import (
+    record_checkpoint_append,
+    record_checkpoint_recovery,
+)
 
 __all__ = [
     "CheckpointJournal",
@@ -131,6 +135,7 @@ def recover(path: str) -> int:
     if clean_len < len(raw):
         with open(path, "r+b") as handle:
             handle.truncate(clean_len)
+    record_checkpoint_recovery(dropped)
     return dropped
 
 
@@ -163,6 +168,7 @@ class CheckpointJournal:
         line = json.dumps(payload, separators=(",", ":"), sort_keys=True)
         self._handle.write(line.encode("utf-8") + b"\n")
         os.fsync(self._handle.fileno())
+        record_checkpoint_append(payload.get("type", "unknown"))
 
     def describe(self, meta: dict) -> None:
         """Record the grid descriptor for this run."""

@@ -20,6 +20,8 @@ from repro.core.config import APIMConfig, default_config
 from repro.core.cost import Cost
 from repro.core.engine import APIMEngine
 from repro.errors import KernelExecutionError, ReproError, WorkloadError
+from repro.observability import span
+from repro.observability.instruments import record_execution
 from repro.quality.metrics import quality_loss_percent
 from repro.quality.qos import QoSPolicy
 from repro.workloads.base import Workload, WorkloadData
@@ -112,7 +114,8 @@ class APIMExecutor:
         else:
             engine = APIMEngine(self.config, spec)
         try:
-            output = workload.run(engine, data)
+            with span("executor.kernel", workload=workload.name):
+                output = workload.run(engine, data)
             reference = workload.reference(data)
         except ReproError:
             raise
@@ -137,7 +140,7 @@ class APIMExecutor:
         retries = int(getattr(engine, "retries", 0))
         degraded = int(getattr(engine, "degraded", 0))
         status = "degraded" if degraded else ("retried" if retries else "ok")
-        return ExecutionResult(
+        result = ExecutionResult(
             workload=workload.name,
             spec=spec,
             elements=data.elements,
@@ -158,3 +161,5 @@ class APIMExecutor:
             status=status,
             attempts=retries + 1,
         )
+        record_execution(result)
+        return result

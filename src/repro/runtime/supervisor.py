@@ -34,6 +34,11 @@ from repro.errors import (
     FaultError,
     TransientError,
 )
+from repro.observability.instruments import (
+    record_backoff,
+    record_breaker_transition,
+    record_supervision_event,
+)
 from repro.workloads.datagen import seeded_stream
 
 __all__ = [
@@ -160,8 +165,11 @@ class CircuitBreaker:
         # so a failing probe re-trips instantly.
         del self._opened_at[key]
         self._failures[key] = self.failure_threshold - 1
+        record_breaker_transition("half_open")
 
     def record_success(self, key: str) -> None:
+        if key in self._failures or key in self._opened_at:
+            record_breaker_transition("closed")
         self._failures.pop(key, None)
         self._opened_at.pop(key, None)
 
@@ -169,6 +177,8 @@ class CircuitBreaker:
         count = self._failures.get(key, 0) + 1
         self._failures[key] = count
         if count >= self.failure_threshold:
+            if key not in self._opened_at:
+                record_breaker_transition("open")
             self._opened_at[key] = self.clock()
 
 
@@ -214,6 +224,7 @@ class Supervisor:
         self.observer = observer
 
     def _emit(self, kind: str, key: str, detail: str) -> None:
+        record_supervision_event(kind)
         if self.observer is not None:
             self.observer(kind, key, self.clock(), detail)
 
@@ -262,6 +273,7 @@ class Supervisor:
                     ) from exc
                 delays.append(delay)
                 self._emit("retry", key, errors[-1])
+                record_backoff(delay)
                 self.sleep(delay)
                 continue
             except CircuitOpenError:

@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from typing import TYPE_CHECKING, Sequence
 
 from repro.compiler.ir import Kernel
@@ -30,6 +31,7 @@ from repro.compiler.scheduler import Schedule
 from repro.core.config import APIMConfig, default_config
 from repro.core.cost import CostLedger
 from repro.errors import ConfigurationError
+from repro.units import cycles_to_us
 
 if TYPE_CHECKING:
     from repro.resilience.manager import ReliabilityEvent
@@ -43,7 +45,7 @@ __all__ = [
 
 
 def _cycles_to_us(cycles: float, config: APIMConfig) -> float:
-    return cycles * config.cycle_time * 1e6
+    return cycles_to_us(cycles, config.cycle_time)
 
 
 class ChromeTraceWriter:
@@ -67,65 +69,93 @@ class ChromeTraceWriter:
         self._events: list[dict] = []
         self._pending = 0
         self._closed = False
+        # Concurrent executors share one writer; buffer mutation, the
+        # pending counter and the flush swap all happen under this lock.
+        self._lock = threading.RLock()
 
     def add(self, event: dict) -> None:
-        """Buffer one raw trace event, flushing per policy."""
-        if self._closed:
-            raise ConfigurationError(f"trace writer {self.path!r} is closed")
-        self._events.append(event)
-        self._pending += 1
-        if self._pending >= self.flush_every:
-            self.flush()
+        """Buffer one raw trace event, flushing per policy.
+
+        Thread-safe: spans emitted from several executor threads interleave
+        without tearing the buffer or racing a flush.  Events missing
+        ``pid``/``tid`` are stamped with the real process and thread ids so
+        concurrent tracks render separately in the viewer.
+        """
+        event.setdefault("pid", os.getpid())
+        event.setdefault("tid", threading.get_ident())
+        with self._lock:
+            if self._closed:
+                raise ConfigurationError(
+                    f"trace writer {self.path!r} is closed"
+                )
+            self._events.append(event)
+            self._pending += 1
+            if self._pending >= self.flush_every:
+                self.flush()
 
     def instant(
-        self, name: str, ts_us: float, tid: int = 0, **args
+        self, name: str, ts_us: float, tid: int | None = None, **args
     ) -> None:
-        """An instant event (``ph: "i"``) at a timestamp in microseconds."""
-        self.add(
-            {
-                "name": name, "ph": "i", "pid": 1, "tid": tid,
-                "ts": ts_us, "s": "t", "args": args,
-            }
-        )
+        """An instant event (``ph: "i"``) at a timestamp in microseconds.
+
+        ``tid`` defaults to the calling thread's id (stamped by
+        :meth:`add`), so concurrent emitters separate into tracks.
+        """
+        event: dict = {
+            "name": name, "ph": "i", "ts": ts_us, "s": "t", "args": args,
+        }
+        if tid is not None:
+            event["tid"] = tid
+        self.add(event)
 
     def slice(
-        self, name: str, ts_us: float, dur_us: float, tid: int = 0, **args
+        self,
+        name: str,
+        ts_us: float,
+        dur_us: float,
+        tid: int | None = None,
+        **args,
     ) -> None:
-        """A complete-duration event (``ph: "X"``)."""
-        self.add(
-            {
-                "name": name, "ph": "X", "pid": 1, "tid": tid,
-                "ts": ts_us, "dur": dur_us, "args": args,
-            }
-        )
+        """A complete-duration event (``ph: "X"``); ``tid`` as in
+        :meth:`instant`."""
+        event: dict = {
+            "name": name, "ph": "X", "ts": ts_us, "dur": dur_us,
+            "args": args,
+        }
+        if tid is not None:
+            event["tid"] = tid
+        self.add(event)
 
     def flush(self) -> None:
         """Atomically rewrite the target as a complete, loadable trace."""
-        payload = json.dumps(
-            {"traceEvents": list(self._events), "displayTimeUnit": "ns"}
-        )
-        directory = os.path.dirname(os.path.abspath(self.path))
-        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".trace.tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(payload)
-            os.replace(tmp, self.path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
-        self._pending = 0
+        with self._lock:
+            payload = json.dumps(
+                {"traceEvents": list(self._events), "displayTimeUnit": "ns"}
+            )
+            directory = os.path.dirname(os.path.abspath(self.path))
+            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".trace.tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(payload)
+                os.replace(tmp, self.path)
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
+            self._pending = 0
 
     @property
     def events(self) -> tuple[dict, ...]:
         """Everything buffered so far (flushed or not)."""
-        return tuple(self._events)
+        with self._lock:
+            return tuple(self._events)
 
     def close(self) -> None:
         """Final flush; idempotent."""
-        if not self._closed:
-            self.flush()
-            self._closed = True
+        with self._lock:
+            if not self._closed:
+                self.flush()
+                self._closed = True
 
     def __enter__(self) -> "ChromeTraceWriter":
         return self

@@ -1,0 +1,137 @@
+"""Exporter tests: Prometheus golden file, JSONL sink, snapshots."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability import (
+    JsonlSnapshotSink,
+    MetricsRegistry,
+    snapshot,
+    to_prometheus,
+)
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "data", "metrics_golden.prom")
+
+
+def golden_registry() -> MetricsRegistry:
+    """A fixed registry state shared by the golden-file test and the
+    generator that produced the file (see tests/data/README note)."""
+    registry = MetricsRegistry(clock=lambda: 1234.5)
+    ops = registry.counter(
+        "repro_executor_ops_total",
+        "Arithmetic operations executed on the APIM engine.",
+        ("workload", "op"),
+    )
+    ops.labels(workload="Sobel", op="mul").inc(12696)
+    ops.labels(workload="Sobel", op="add").inc(11638)
+    registry.gauge(
+        "repro_campaign_in_flight", "Grid points currently executing."
+    ).set(1)
+    lat = registry.histogram(
+        "repro_executor_time_seconds",
+        "Simulated tile latency per execution.",
+        ("workload",),
+        buckets=(1e-06, 4e-06, 1.6e-05),
+    )
+    for value in (5e-07, 4e-06, 2.0):
+        lat.labels(workload="Sobel").observe(value)
+    escaped = registry.counter(
+        "repro_escaping_total", 'Help with \\ and\nnewline.', ("detail",)
+    )
+    escaped.labels(detail='quote " slash \\ line\nbreak').inc()
+    return registry
+
+
+class TestPrometheusExposition:
+    def test_matches_golden_file(self):
+        """Byte-for-byte stability of the exposition format.
+
+        If this fails because the format *intentionally* changed, regenerate
+        with: ``python -c "import tests.test_observability_export as t;
+        open(t.GOLDEN, 'w').write(t.to_prometheus(t.golden_registry()))"``
+        """
+        with open(GOLDEN, encoding="utf-8") as handle:
+            assert to_prometheus(golden_registry()) == handle.read()
+
+    def test_histogram_lines_are_cumulative_with_inf(self):
+        text = to_prometheus(golden_registry())
+        assert (
+            'repro_executor_time_seconds_bucket{workload="Sobel",le="1e-06"}'
+            " 1" in text
+        )
+        assert (
+            'repro_executor_time_seconds_bucket{workload="Sobel",le="4e-06"}'
+            " 2" in text
+        )
+        assert (
+            'repro_executor_time_seconds_bucket{workload="Sobel",le="+Inf"}'
+            " 3" in text
+        )
+        assert 'repro_executor_time_seconds_count{workload="Sobel"} 3' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+    def test_integral_values_have_no_decimal_point(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_n_total", "").inc(3)
+        assert "repro_n_total 3\n" in to_prometheus(registry)
+
+    def test_label_escaping_round_trips_specials(self):
+        text = to_prometheus(golden_registry())
+        assert r'detail="quote \" slash \\ line\nbreak"' in text
+        assert "# HELP repro_escaping_total Help with \\\\ and\\nnewline." \
+            in text
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_able_and_stamped(self):
+        registry = golden_registry()
+        payload = snapshot(registry)
+        assert payload["ts"] == 1234.5
+        round_tripped = json.loads(json.dumps(payload))
+        ops = round_tripped["metrics"]["repro_executor_ops_total"]
+        assert ops["kind"] == "counter"
+        values = {
+            (s["labels"]["workload"], s["labels"]["op"]): s["value"]
+            for s in ops["samples"]
+        }
+        assert values == {("Sobel", "mul"): 12696, ("Sobel", "add"): 11638}
+
+    def test_histogram_snapshot_carries_buckets_and_counts(self):
+        payload = snapshot(golden_registry())
+        (sample,) = payload["metrics"]["repro_executor_time_seconds"][
+            "samples"
+        ]
+        assert sample["buckets"] == [1e-06, 4e-06, 1.6e-05]
+        assert sample["counts"] == [1, 1, 0, 1]
+        assert sample["count"] == 3
+
+
+class TestJsonlSink:
+    def test_appends_one_line_per_write(self, tmp_path):
+        path = str(tmp_path / "telemetry.jsonl")
+        registry = golden_registry()
+        with JsonlSnapshotSink(path) as sink:
+            sink.write(registry, run=1)
+            sink.write(registry, run=2)
+        lines = open(path, encoding="utf-8").read().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert [r["run"] for r in records] == [1, 2]
+        assert all(r["ts"] == 1234.5 for r in records)
+
+    def test_closed_sink_rejects_writes(self, tmp_path):
+        sink = JsonlSnapshotSink(str(tmp_path / "t.jsonl"))
+        sink.close()
+        with pytest.raises(ObservabilityError):
+            sink.write(MetricsRegistry())
+
+    def test_unwritable_path_raises(self, tmp_path):
+        with pytest.raises(ObservabilityError):
+            JsonlSnapshotSink(str(tmp_path / "missing" / "t.jsonl"))

@@ -1,0 +1,144 @@
+"""Property tests for the metrics layer.
+
+Two invariant families the satellites call out:
+
+- **histograms**: under any random observation stream, bucket counts are
+  conserved (every observation lands in exactly one bucket), cumulative
+  counts are monotonically non-decreasing and end at the total count, each
+  observation lands in the first bucket whose upper bound is >= the value
+  (``le`` semantics), and the sum tracks the float sum of observations;
+- **exposition**: for any registry contents, the Prometheus text renders
+  one ``# HELP``/``# TYPE`` pair per family, every sample line parses, and
+  re-rendering is deterministic.
+"""
+
+from __future__ import annotations
+
+import re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.observability import MetricsRegistry, to_prometheus
+
+#: Strictly increasing finite positive bucket bound lists.
+bucket_bounds = st.lists(
+    st.floats(
+        min_value=1e-9, max_value=1e9,
+        allow_nan=False, allow_infinity=False,
+    ),
+    min_size=1, max_size=12, unique=True,
+).map(lambda bounds: tuple(sorted(bounds)))
+
+observations = st.lists(
+    st.floats(
+        min_value=-1e12, max_value=1e12,
+        allow_nan=False, allow_infinity=False,
+    ),
+    max_size=200,
+)
+
+
+class TestHistogramInvariants:
+    @given(bounds=bucket_bounds, values=observations)
+    @settings(max_examples=80, deadline=None)
+    def test_count_conservation_and_monotonicity(self, bounds, values):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_h", "", buckets=bounds)
+        for value in values:
+            hist.observe(value)
+        (_, child), = hist.samples() if values else ((None, None),)
+        if not values:
+            return
+        # Conservation: every observation is in exactly one raw bucket.
+        assert sum(child.counts) == len(values) == child.count
+        # Monotonicity: cumulative counts never decrease, end at count.
+        cumulative = child.cumulative()
+        assert all(
+            later >= earlier
+            for earlier, later in zip(cumulative, cumulative[1:])
+        )
+        assert cumulative[-1] == len(values)
+        # Sum tracks the observations: the histogram accumulates left to
+        # right, so it must equal the same-order float sum exactly.
+        expected_sum = 0.0
+        for value in values:
+            expected_sum += value
+        assert child.sum == expected_sum
+
+    @given(bounds=bucket_bounds, values=observations)
+    @settings(max_examples=80, deadline=None)
+    def test_le_bucket_assignment(self, bounds, values):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_h", "", buckets=bounds)
+        expected = [0] * (len(bounds) + 1)
+        for value in values:
+            hist.observe(value)
+            for i, bound in enumerate(bounds):
+                if value <= bound:
+                    expected[i] += 1
+                    break
+            else:
+                expected[-1] += 1
+        if values:
+            (_, child), = hist.samples()
+            assert child.counts == expected
+
+
+metric_names = st.from_regex(r"repro_[a-z][a-z0-9_]{0,20}", fullmatch=True)
+label_values = st.text(min_size=0, max_size=20)
+
+
+class TestExpositionInvariants:
+    @given(
+        data=st.dictionaries(
+            metric_names,
+            st.tuples(
+                st.sampled_from(["counter", "gauge"]),
+                st.dictionaries(
+                    label_values,
+                    st.floats(
+                        min_value=0, max_value=1e9, allow_nan=False
+                    ),
+                    max_size=4,
+                ),
+            ),
+            max_size=6,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_structure_and_determinism(self, data):
+        registry = MetricsRegistry()
+        for name, (kind, series) in data.items():
+            if kind == "counter":
+                family = registry.counter(name, "h", ("tag",))
+                for value_label, amount in series.items():
+                    family.labels(tag=value_label).inc(amount)
+            else:
+                family = registry.gauge(name, "h", ("tag",))
+                for value_label, amount in series.items():
+                    family.labels(tag=value_label).set(amount)
+        text = to_prometheus(registry)
+        # Deterministic re-render.
+        assert text == to_prometheus(registry)
+        helps = re.findall(r"^# HELP ([^ ]+)", text, flags=re.M)
+        types = re.findall(r"^# TYPE ([^ ]+) (\w+)", text, flags=re.M)
+        assert helps == sorted(data)  # one header per family, sorted
+        assert [name for name, _ in types] == sorted(data)
+        for name, kind in types:
+            assert kind == data[name][0]
+        # Every non-comment line is NAME{labels} VALUE with a float value.
+        # The format is newline-framed: only \n terminates a sample (a raw
+        # \r inside a label value is legal), so split on \n, not splitlines.
+        sample_re = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? \S+$")
+        lines = [line for line in text.split("\n") if line]
+        for line in lines:
+            if line.startswith("#"):
+                continue
+            assert sample_re.match(line), line
+            float(line.rsplit(" ", 1)[1])  # parses as a number
+        # Sample count matches series count.
+        samples = [line for line in lines if not line.startswith("#")]
+        assert len(samples) == sum(
+            len(series) for _, series in data.values()
+        )

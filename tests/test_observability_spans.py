@@ -1,0 +1,154 @@
+"""Unit tests for span profiling (repro.observability.spans)."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.observability import (
+    MetricsRegistry,
+    SpanProfiler,
+    disable,
+    enable,
+    set_default_registry,
+    span,
+)
+from repro.observability.spans import SPAN_HISTOGRAM
+from repro.runtime.supervisor import ManualClock
+from repro.runtime.trace import ChromeTraceWriter
+
+
+def _profiler(**kwargs):
+    clock = ManualClock()
+    return SpanProfiler(clock=clock, **kwargs), clock
+
+
+class TestHierarchy:
+    def test_nesting_builds_a_tree(self):
+        profiler, clock = _profiler(registry=MetricsRegistry())
+        with profiler.span("outer"):
+            clock.advance(1.0)
+            with profiler.span("inner"):
+                clock.advance(0.25)
+            with profiler.span("sibling"):
+                clock.advance(0.5)
+        (root,) = profiler.roots
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner", "sibling"]
+        assert root.duration_s == 1.75
+        assert root.children[0].duration_s == 0.25
+
+    def test_walk_is_depth_first(self):
+        profiler, clock = _profiler(registry=MetricsRegistry())
+        with profiler.span("a"):
+            with profiler.span("b"):
+                with profiler.span("c"):
+                    clock.advance(0.1)
+        (root,) = profiler.roots
+        assert [s.name for s in root.walk()] == ["a", "b", "c"]
+
+    def test_span_survives_exceptions(self):
+        profiler, clock = _profiler(registry=MetricsRegistry())
+        try:
+            with profiler.span("doomed"):
+                clock.advance(2.0)
+                raise RuntimeError("kernel died")
+        except RuntimeError:
+            pass
+        (root,) = profiler.roots
+        assert root.duration_s == 2.0
+
+    def test_attrs_attachable_mid_flight(self):
+        profiler, _ = _profiler(registry=MetricsRegistry())
+        with profiler.span("run", workload="Sobel") as record:
+            record.attrs["status"] = "ok"
+        (root,) = profiler.roots
+        assert root.attrs == {"workload": "Sobel", "status": "ok"}
+
+    def test_threads_keep_separate_stacks(self):
+        profiler, _ = _profiler(registry=MetricsRegistry())
+        # Hold all four threads open at once so the OS cannot recycle
+        # thread ids between workers.
+        barrier = threading.Barrier(4)
+
+        def work(name: str):
+            with profiler.span(name):
+                barrier.wait(timeout=10)
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # All four are roots (none nested under another thread's span).
+        assert sorted(r.name for r in profiler.roots) == [
+            "t0", "t1", "t2", "t3",
+        ]
+        assert len({r.thread_id for r in profiler.roots}) == 4
+
+    def test_reset_forgets_roots(self):
+        profiler, _ = _profiler(registry=MetricsRegistry())
+        with profiler.span("once"):
+            pass
+        profiler.reset()
+        assert profiler.roots == ()
+
+
+class TestPublishing:
+    def test_durations_land_in_registry_histogram(self):
+        registry = MetricsRegistry()
+        profiler, clock = _profiler(registry=registry)
+        with profiler.span("step"):
+            clock.advance(0.001)
+        family = registry.get(SPAN_HISTOGRAM)
+        child = family.labels(name="step")
+        assert child.count == 1
+        assert child.sum == 0.001
+
+    def test_trace_writer_gets_slices_with_thread_ids(self, tmp_path):
+        writer = ChromeTraceWriter(str(tmp_path / "spans.json"))
+        profiler, clock = _profiler(registry=MetricsRegistry(), trace=writer)
+        with profiler.span("traced", workload="Sobel"):
+            clock.advance(0.5)
+        (event,) = writer.events
+        assert event["name"] == "traced"
+        assert event["ph"] == "X"
+        assert event["dur"] == 5e5  # 0.5 s in us
+        assert event["tid"] == threading.get_ident()
+        assert event["args"]["workload"] == "Sobel"
+
+    def test_module_level_span_feeds_default_registry(self):
+        registry = MetricsRegistry()
+        previous = set_default_registry(registry)
+        try:
+            with span("module.level"):
+                pass
+        finally:
+            set_default_registry(previous)
+        assert registry.get(SPAN_HISTOGRAM).labels(
+            name="module.level"
+        ).count == 1
+
+    def test_disabled_module_span_is_null_and_free(self):
+        registry = MetricsRegistry()
+        previous = set_default_registry(registry)
+        disable()
+        try:
+            with span("invisible") as record:
+                assert record is None
+        finally:
+            enable()
+            set_default_registry(previous)
+        assert registry.get(SPAN_HISTOGRAM) is None
+
+    def test_unpinned_profiler_honours_registry_swap(self):
+        profiler, clock = _profiler()  # registry=None: resolve at publish
+        registry = MetricsRegistry()
+        previous = set_default_registry(registry)
+        try:
+            with profiler.span("dynamic"):
+                clock.advance(0.1)
+        finally:
+            set_default_registry(previous)
+        assert registry.get(SPAN_HISTOGRAM).labels(name="dynamic").count == 1

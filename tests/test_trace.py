@@ -147,3 +147,54 @@ class TestChromeTraceWriter:
     def test_bad_flush_interval_rejected(self, tmp_path):
         with pytest.raises(ConfigurationError):
             self._writer(tmp_path, flush_every=0)
+
+
+class TestThreadSafety:
+    def _writer(self, tmp_path, **kwargs):
+        from repro.runtime.trace import ChromeTraceWriter
+
+        return ChromeTraceWriter(str(tmp_path / "trace.json"), **kwargs)
+
+    def test_events_stamped_with_pid_and_tid(self, tmp_path):
+        import os
+        import threading
+
+        writer = self._writer(tmp_path, flush_every=10)
+        writer.instant("here", ts_us=0.0)
+        writer.close()
+        (event,) = json.loads((tmp_path / "trace.json").read_text())[
+            "traceEvents"
+        ]
+        assert event["pid"] == os.getpid()
+        assert event["tid"] == threading.get_ident()
+
+    def test_explicit_tid_not_overwritten(self, tmp_path):
+        writer = self._writer(tmp_path, flush_every=10)
+        writer.slice("pinned", ts_us=0.0, dur_us=1.0, tid=7)
+        writer.close()
+        (event,) = json.loads((tmp_path / "trace.json").read_text())[
+            "traceEvents"
+        ]
+        assert event["tid"] == 7
+
+    def test_concurrent_adds_keep_every_event(self, tmp_path):
+        import threading
+
+        writer = self._writer(tmp_path, flush_every=3)
+
+        def emit(tag: int):
+            for i in range(40):
+                writer.instant(f"w{tag}.{i}", ts_us=float(i))
+
+        workers = [
+            threading.Thread(target=emit, args=(t,)) for t in range(4)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        writer.close()
+        payload = json.loads((tmp_path / "trace.json").read_text())
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert len(payload["traceEvents"]) == 160
+        assert names == {f"w{t}.{i}" for t in range(4) for i in range(40)}
