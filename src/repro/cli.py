@@ -15,6 +15,9 @@ Commands:
   retry counts and degradation mix versus injected fault rate.
 - ``metrics`` — run a supervised workload grid under full instrumentation
   and dump (or serve) the Prometheus scrape.
+- ``serve`` — boot the sharded serving frontend: a :class:`CrossbarPool`
+  behind the JSON-over-HTTP API (``/submit``, ``/result/<id>``,
+  ``/healthz``, ``/stats``, ``/metrics``).
 - ``workloads`` — list available workloads.
 """
 
@@ -164,6 +167,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--quick", action="store_true",
         help="tiny smoke grid (CI): one level, small tile",
+    )
+
+    p = sub.add_parser(
+        "serve",
+        help="serve workload pricing over HTTP from a sharded crossbar pool",
+    )
+    p.add_argument("--shards", type=int, default=2)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=8017,
+        help="listen port (0 picks an ephemeral port)",
+    )
+    p.add_argument("--tile", type=int, default=1 << 10)
+    p.add_argument("--batch-size", type=int, default=8)
+    p.add_argument(
+        "--max-wait", type=float, default=0.002,
+        help="seconds a batch head waits for same-workload stragglers",
+    )
+    p.add_argument("--queue-capacity", type=int, default=64)
+    p.add_argument("--seed", type=int, default=2017)
+    p.add_argument(
+        "--quick", action="store_true",
+        help="self-test (CI): boot on an ephemeral port, round-trip one "
+        "workload over HTTP, verify the result, exit",
     )
 
     p = sub.add_parser(
@@ -341,33 +368,49 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 def _serve_metrics(registry, port: int) -> None:  # pragma: no cover - manual
     """Serve the live scrape over HTTP until interrupted."""
-    from http.server import BaseHTTPRequestHandler, HTTPServer
+    import re
 
     from repro.observability import to_prometheus
+    from repro.serving.http import JsonHttpServer
 
-    class Handler(BaseHTTPRequestHandler):
-        def do_GET(self):
-            body = to_prometheus(registry).encode("utf-8")
-            self.send_response(200)
-            self.send_header(
-                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+    def scrape(_match, _body):
+        return 200, to_prometheus(registry)
+
+    routes = [("GET", re.compile(r"/(metrics/?)?$"), scrape)]
+    with JsonHttpServer(routes, host="localhost", port=port) as server:
+        print(f"serving metrics at {server.url}/metrics (Ctrl-C to stop)")
+        server.serve_forever(install_signal_handlers=True)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the sharded serving frontend (or its --quick self-test)."""
+    from repro.serving.frontend import build_server, quick_selftest
+    from repro.serving.pool import CrossbarPool
+    from repro.serving.scheduler import ServingConfig
+
+    if args.quick:
+        return quick_selftest()
+    config = ServingConfig(
+        max_batch_size=args.batch_size,
+        max_wait_s=args.max_wait,
+        queue_capacity=args.queue_capacity,
+    )
+    pool = CrossbarPool(
+        shards=args.shards,
+        serving_config=config,
+        tile_elements=args.tile,
+        seed=args.seed,
+    )
+    with pool:
+        server = build_server(pool, host=args.host, port=args.port)
+        with server:
+            print(
+                f"serving {args.shards} shard(s) at {server.url} "
+                "(POST /submit, GET /result/<id>, /healthz, /stats, "
+                "/metrics; Ctrl-C to stop)"
             )
-            self.send_header("Content-Length", str(len(body)))
-            self.end_headers()
-            self.wfile.write(body)
-
-        def log_message(self, *_args):
-            pass
-
-    server = HTTPServer(("localhost", port), Handler)
-    print(f"serving metrics at http://localhost:{port}/metrics "
-          "(Ctrl-C to stop)")
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
-    finally:
-        server.server_close()
+            server.serve_forever(install_signal_handlers=True)
+    return 0
 
 
 def _cmd_workloads() -> str:
@@ -438,6 +481,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_chaos(args)
     elif args.command == "metrics":
         return _cmd_metrics(args)
+    elif args.command == "serve":
+        return _cmd_serve(args)
     elif args.command == "faults":
         from repro.resilience import campaign_table, run_fault_campaign
 

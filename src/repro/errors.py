@@ -92,3 +92,25 @@ class ObservabilityError(ReproError):
     re-registration that conflicts with an existing family (different kind,
     labels or buckets), a negative counter increment, or non-monotonic
     histogram buckets."""
+
+
+class ServingError(ReproError):
+    """The serving layer cannot process a request: the pool is closed, a
+    request names an unknown workload, or the frontend received a payload
+    it cannot interpret."""
+
+
+class AdmissionRejectedError(ServingError):
+    """Admission control refused a request before it entered the queue —
+    the priority class is at capacity (backpressure) or the request's
+    deadline cannot be met given the current backlog.  Carries
+    ``retry_after_s``, the client's suggested resubmission delay."""
+
+    def __init__(self, message: str, retry_after_s: float = 0.05) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+class ShardUnavailableError(ServingError):
+    """No healthy shard can take traffic: every shard's circuit breaker is
+    open (or the pool was stopped), so a request cannot be dispatched."""

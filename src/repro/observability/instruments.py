@@ -35,11 +35,18 @@ __all__ = [
     "record_checkpoint_recovery",
     "record_controller_command",
     "record_execution",
+    "record_admission",
+    "record_batch",
+    "record_queue_wait",
+    "record_reroute",
     "record_residue_mismatch",
     "record_resilience_degraded",
     "record_resilience_repair",
     "record_resilience_retry",
+    "record_served",
+    "record_shard_health",
     "record_supervision_event",
+    "set_queue_depth",
 ]
 
 #: Rows a command activates (read or write wordline pulses), per opcode.
@@ -162,6 +169,53 @@ class _Instruments:
         self.resilience_degraded = registry.counter(
             "repro_resilience_degraded_total",
             "Elements kept corrupted after the repair budget ran out.",
+        )
+        # -- serving ---------------------------------------------------------
+        self.serving_admission = registry.counter(
+            "repro_serving_admission_total",
+            "Admission-control outcomes (admitted / rejected_*).",
+            ("outcome",),
+        )
+        self.serving_queue_depth = registry.gauge(
+            "repro_serving_queue_depth",
+            "Requests currently queued, per priority class.",
+            ("priority",),
+        )
+        self.serving_queue_wait = registry.histogram(
+            "repro_serving_queue_wait_seconds",
+            "Wall-clock wait between admission and dispatch.",
+            (),
+            DEFAULT_LATENCY_BUCKETS,
+        )
+        self.serving_batch_size = registry.histogram(
+            "repro_serving_batch_size",
+            "Coalesced batch sizes dispatched to shards.",
+            (),
+            (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
+        )
+        self.serving_requests = registry.counter(
+            "repro_serving_requests_total",
+            "Requests finished by the pool, by tenant and terminal status.",
+            ("tenant", "status"),
+        )
+        self.serving_shard_requests = registry.counter(
+            "repro_serving_shard_requests_total",
+            "Requests executed per shard, by terminal status.",
+            ("shard", "status"),
+        )
+        self.serving_shard_busy = registry.counter(
+            "repro_serving_shard_busy_seconds_total",
+            "Wall-clock seconds each shard spent executing requests.",
+            ("shard",),
+        )
+        self.serving_shard_health = registry.gauge(
+            "repro_serving_shard_healthy",
+            "1 while the shard's breaker admits traffic, 0 while open.",
+            ("shard",),
+        )
+        self.serving_reroutes = registry.counter(
+            "repro_serving_reroutes_total",
+            "Requests pushed back to the queue off an unhealthy shard.",
         )
         # -- crossbar controller ---------------------------------------------
         self.controller_commands = registry.counter(
@@ -318,6 +372,63 @@ def record_resilience_degraded(elements: int) -> None:
     inst = _instruments()
     if inst is not None and elements:
         inst.resilience_degraded.inc(elements)
+
+
+# -- serving ------------------------------------------------------------------
+
+
+def record_admission(outcome: str) -> None:
+    """Count one admission decision (``admitted`` / ``rejected_*``)."""
+    inst = _instruments()
+    if inst is not None:
+        inst.serving_admission.labels(outcome=outcome).inc()
+
+
+def set_queue_depth(priority: int, depth: int) -> None:
+    """Publish one priority class's current queue depth."""
+    inst = _instruments()
+    if inst is not None:
+        inst.serving_queue_depth.labels(priority=priority).set(depth)
+
+
+def record_queue_wait(seconds: float) -> None:
+    """Observe one request's admission-to-dispatch wait."""
+    inst = _instruments()
+    if inst is not None:
+        inst.serving_queue_wait.observe(seconds)
+
+
+def record_batch(size: int) -> None:
+    """Observe one dispatched batch's size."""
+    inst = _instruments()
+    if inst is not None:
+        inst.serving_batch_size.observe(size)
+
+
+def record_served(
+    shard: int, tenant: str, status: str, busy_s: float
+) -> None:
+    """Roll one finished request into the tenant and shard families."""
+    inst = _instruments()
+    if inst is None:
+        return
+    inst.serving_requests.labels(tenant=tenant, status=status).inc()
+    inst.serving_shard_requests.labels(shard=shard, status=status).inc()
+    inst.serving_shard_busy.labels(shard=shard).inc(max(0.0, busy_s))
+
+
+def record_shard_health(shard: int, healthy: bool) -> None:
+    """Publish one shard's breaker state (1 healthy, 0 open)."""
+    inst = _instruments()
+    if inst is not None:
+        inst.serving_shard_health.labels(shard=shard).set(1 if healthy else 0)
+
+
+def record_reroute(requests: int) -> None:
+    """Count requests pushed back to the queue off a sick shard."""
+    inst = _instruments()
+    if inst is not None and requests:
+        inst.serving_reroutes.inc(requests)
 
 
 # -- crossbar controller ------------------------------------------------------

@@ -48,6 +48,7 @@ from repro.workloads.base import Workload
 if TYPE_CHECKING:
     from repro.runtime.chaos import ChaosInjector
     from repro.runtime.supervisor import Supervisor
+    from repro.serving.pool import CrossbarPool
 
 __all__ = [
     "CampaignPoint",
@@ -55,6 +56,7 @@ __all__ = [
     "TERMINAL_STATUSES",
     "point_key",
     "run_campaign",
+    "run_point",
 ]
 
 #: Every grid point ends in exactly one of these.
@@ -201,19 +203,29 @@ def _failed_point(
     )
 
 
-def _run_point(
+def run_point(
     workload: Workload,
     level: int,
     dataset_bytes: float,
     harness,
-    supervisor: "Supervisor | None",
-    chaos: "ChaosInjector | None",
-    qos: QoSPolicy,
-    max_relax_bits: int,
-    degradation_step: int,
+    supervisor: "Supervisor | None" = None,
+    chaos: "ChaosInjector | None" = None,
+    qos: QoSPolicy | None = None,
+    max_relax_bits: int = 32,
+    degradation_step: int = 4,
+    key_prefix: str = "",
 ) -> CampaignPoint:
-    """One grid point, end to end: supervise, degrade, fall back."""
-    key = point_key(workload.name, level, int(dataset_bytes))
+    """One grid point, end to end: supervise, degrade, fall back.
+
+    The campaign's unit of work, exposed so other executors — notably the
+    serving layer's :class:`~repro.serving.pool.CrossbarPool` shards — run
+    points under the identical terminal-status contract: every call
+    returns a :class:`CampaignPoint` in one of :data:`TERMINAL_STATUSES`,
+    never raises a lost point.  ``key_prefix`` namespaces the supervision
+    key (retry jitter, breaker state) per caller, e.g. per shard.
+    """
+    qos = qos or QoSPolicy()
+    key = key_prefix + point_key(workload.name, level, int(dataset_bytes))
     calls = 0
 
     def priced(relax: int):
@@ -280,6 +292,87 @@ def _run_point(
         )
 
 
+def _run_campaign_pooled(
+    pool: "CrossbarPool",
+    resolved: list[Workload],
+    relax_levels: list[int],
+    dataset_bytes: float,
+    checkpoint: str | None,
+    resume: bool,
+    seed: int,
+) -> CampaignResult:
+    """The grid through the serving pool: submit all, collect in order.
+
+    The journal protocol matches the sequential path — ``begin`` before a
+    point is dispatched, ``complete`` once its terminal record exists — so
+    a killed pooled campaign resumes exactly like a sequential one.
+    """
+    completed: dict[str, CampaignPoint] = {}
+    journal: CheckpointJournal | None = None
+    if checkpoint is not None:
+        if resume:
+            state = load_journal(checkpoint)
+            for key, payload in state.completed.items():
+                try:
+                    completed[key] = CampaignPoint(**payload)
+                except (TypeError, ReproError):
+                    continue
+        journal = CheckpointJournal(checkpoint, resume=resume)
+        journal.describe(
+            {
+                "workloads": [w.name for w in resolved],
+                "relax_levels": list(relax_levels),
+                "dataset_bytes": int(dataset_bytes),
+                "seed": seed,
+                "pool_shards": pool.shard_count,
+            }
+        )
+
+    pool.ensure_started()
+    grid: list[tuple[str, str | None]] = []  # (point key, request id | None)
+    points: list[CampaignPoint] = []
+    try:
+        for workload in resolved:
+            for level in relax_levels:
+                key = point_key(workload.name, level, int(dataset_bytes))
+                if key in completed:
+                    grid.append((key, None))
+                    continue
+                if journal is not None:
+                    journal.begin(key)
+                request_id = pool.submit(
+                    workload=workload.name,
+                    relax_bits=level,
+                    dataset_bytes=int(dataset_bytes),
+                    tenant="campaign",
+                    priority=0,
+                    block=True,
+                )
+                grid.append((key, request_id))
+        for key, request_id in grid:
+            if request_id is None:
+                point = completed[key]
+                record_campaign_point(point.status, resumed=True)
+                points.append(point)
+                continue
+            result = pool.result(request_id)
+            point = result.point
+            if point is None:  # expired/error: keep the grid complete
+                name, rest = key.split("/m", 1)
+                level, size = rest.split("/", 1)
+                point = _failed_point(
+                    name, int(level), int(size[:-1]), result.attempts
+                )
+            record_campaign_point(point.status)
+            if journal is not None:
+                journal.complete(key, dataclasses.asdict(point))
+            points.append(point)
+    finally:
+        if journal is not None:
+            journal.close()
+    return CampaignResult(points=tuple(points))
+
+
 def run_campaign(
     workloads: list[Workload | str],
     relax_levels: list[int],
@@ -295,6 +388,7 @@ def run_campaign(
     max_relax_bits: int = 32,
     degradation_step: int = 4,
     harness: ComparisonHarness | None = None,
+    pool: "CrossbarPool | None" = None,
 ) -> CampaignResult:
     """Run the full (workload x relax-bits) grid at one dataset size.
 
@@ -306,6 +400,16 @@ def run_campaign(
     (recovering any torn tail) and re-executes only points without a
     terminal record.  ``seed`` feeds the harness's input generation so a
     resumed or replayed campaign prices identical data.
+
+    With ``pool`` (a started-or-startable
+    :class:`~repro.serving.pool.CrossbarPool`) the grid executes through
+    the serving layer's sharded workers instead of this thread: points are
+    submitted as internal blocking requests (backpressure, never
+    admission-rejected) and collected in grid order, so campaigns gain
+    multi-shard parallelism with identical semantics.  Supervision, chaos
+    and QoS degradation then belong to the pool's shards — passing
+    ``supervisor``/``chaos``/``harness`` alongside ``pool`` is a
+    configuration error.
     """
     if not workloads:
         raise ConfigurationError("campaign needs at least one workload")
@@ -315,9 +419,21 @@ def run_campaign(
         raise ConfigurationError("relax levels must be non-negative")
     if resume and checkpoint is None:
         raise ConfigurationError("resume=True needs a checkpoint path")
+    if pool is not None and (
+        supervisor is not None or chaos is not None or harness is not None
+    ):
+        raise ConfigurationError(
+            "pool mode owns supervision/chaos/pricing per shard; do not "
+            "also pass supervisor=, chaos= or harness="
+        )
     resolved = [
         workload_by_name(w) if isinstance(w, str) else w for w in workloads
     ]
+    if pool is not None:
+        return _run_campaign_pooled(
+            pool, resolved, relax_levels, dataset_bytes,
+            checkpoint=checkpoint, resume=resume, seed=seed,
+        )
     harness = harness or ComparisonHarness(
         config=config, tile_elements=tile_elements, rng_seed=seed
     )
@@ -358,7 +474,7 @@ def run_campaign(
                 if journal is not None:
                     journal.begin(key)
                 with span("campaign.point", key=key):
-                    point = _run_point(
+                    point = run_point(
                         workload, level, dataset_bytes, harness, supervisor,
                         chaos, qos, max_relax_bits, degradation_step,
                     )

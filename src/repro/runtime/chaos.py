@@ -28,6 +28,7 @@ reports completion yield, retry counts and the degradation mix.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, TypeVar
 
@@ -93,6 +94,11 @@ class ChaosInjector:
         self.clock = clock
         self._calls: dict[str, int] = {}
         self.injected = {"transient": 0, "latency": 0, "corrupt": 0}
+        # The serving pool gives every shard a private injector, but the
+        # call/injection counters are still lock-guarded so a single
+        # injector shared across threads keeps exact counts and each
+        # (key, call-index) pair is claimed by exactly one caller.
+        self._lock = threading.Lock()
 
     def _decide(self, key: str, call: int) -> str:
         """The fault kind for one (key, call): pure in (seed, key, call)."""
@@ -110,22 +116,26 @@ class ChaosInjector:
         """A chaotic version of ``fn``, keyed for deterministic draws."""
 
         def chaotic() -> T:
-            index = self._calls.get(key, 0)
-            self._calls[key] = index + 1
+            with self._lock:
+                index = self._calls.get(key, 0)
+                self._calls[key] = index + 1
             kind = self._decide(key, index)
             if kind == "transient":
-                self.injected["transient"] += 1
+                with self._lock:
+                    self.injected["transient"] += 1
                 raise TransientError(
                     f"chaos: transient engine fault ({key}, call {index})"
                 )
             if kind == "corrupt":
-                self.injected["corrupt"] += 1
+                with self._lock:
+                    self.injected["corrupt"] += 1
                 raise FaultError(
                     f"chaos: unmaskable output corruption "
                     f"({key}, call {index})"
                 )
             if kind == "latency":
-                self.injected["latency"] += 1
+                with self._lock:
+                    self.injected["latency"] += 1
                 if self.clock is not None:
                     self.clock.advance(self.policy.latency_spike_s)
             return fn()

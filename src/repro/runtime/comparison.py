@@ -10,6 +10,7 @@ the analytic model fed by the trace-driven cache simulator.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -74,19 +75,30 @@ class ComparisonHarness:
         self.rng_seed = rng_seed
         self._tile_cache: dict[tuple[str, ApproxSpec], ExecutionResult] = {}
         self._cpu = None  # lazy CPUModel, built on first cpu_fallback
+        # The serving pool gives every shard a private harness, but the
+        # cache and lazy CPU model are still guarded so one harness shared
+        # across threads (a misconfiguration, or deliberate reuse) stays
+        # correct rather than racing dict mutations.
+        self._lock = threading.Lock()
 
     # -- APIM side ----------------------------------------------------------
 
     def _tile_result(self, workload, spec: ApproxSpec) -> ExecutionResult:
         key = (workload.name, spec)
-        if key not in self._tile_cache:
-            self._tile_cache[key] = self.executor.run(
-                workload,
-                spec=spec,
-                elements=self.tile_elements,
-                rng=np.random.default_rng(self.rng_seed),
-            )
-        return self._tile_cache[key]
+        with self._lock:
+            cached = self._tile_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self.executor.run(
+            workload,
+            spec=spec,
+            elements=self.tile_elements,
+            rng=np.random.default_rng(self.rng_seed),
+        )
+        with self._lock:
+            # Two threads may race to compute the same tile; both results
+            # are identical (seeded RNG), so first-write-wins is safe.
+            return self._tile_cache.setdefault(key, result)
 
     def apim_estimate(
         self, workload, dataset_bytes: float, spec: ApproxSpec = EXACT
@@ -126,8 +138,9 @@ class ComparisonHarness:
         from repro.baselines.cpu import CPUModel  # deferred: keeps the
         # CPU baseline out of every non-degraded campaign's import path.
 
-        if self._cpu is None:
-            self._cpu = CPUModel()
+        with self._lock:
+            if self._cpu is None:
+                self._cpu = CPUModel()
         profile = workload.profile()
         cpu = self._cpu.estimate(profile, dataset_bytes)
         gpu: GPUEstimate = self.gpu.estimate(profile, dataset_bytes)

@@ -1,0 +1,42 @@
+"""The serving layer: sharded execution behind a batching queue.
+
+The paper's pitch is throughput at scale — APIM keeps per-element cost
+flat while the GPU baseline degrades with dataset size — and this package
+is the tier that turns the single-process reproduction into a service:
+
+- :mod:`repro.serving.scheduler` — bounded priority queues with tenant
+  fair-share, deadline-aware admission control, backpressure, and
+  max-batch/max-wait coalescing of same-workload requests;
+- :mod:`repro.serving.pool` — the :class:`CrossbarPool`: N shards, each a
+  private executor/harness wrapped in the PR-2 supervisor, pulling
+  batches so a breaker-tripped shard sheds traffic to healthy ones;
+- :mod:`repro.serving.http` — the shared stdlib HTTP server (graceful
+  shutdown, bounded bodies) the metrics endpoint reuses;
+- :mod:`repro.serving.frontend` — the JSON API (``/submit``,
+  ``/result/<id>``, ``/healthz``, ``/stats``, ``/metrics``) behind
+  ``repro serve``.
+
+See ``docs/serving.md`` for the architecture and tuning guide.
+"""
+
+from repro.serving.http import JsonHttpServer
+from repro.serving.pool import Client, CrossbarPool, PoolShard
+from repro.serving.scheduler import (
+    BatchingScheduler,
+    ResultStore,
+    ServeRequest,
+    ServeResult,
+    ServingConfig,
+)
+
+__all__ = [
+    "BatchingScheduler",
+    "Client",
+    "CrossbarPool",
+    "JsonHttpServer",
+    "PoolShard",
+    "ResultStore",
+    "ServeRequest",
+    "ServeResult",
+    "ServingConfig",
+]

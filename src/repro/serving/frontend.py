@@ -1,0 +1,253 @@
+"""The network frontend: JSON-over-HTTP API over a :class:`CrossbarPool`.
+
+Endpoints (all JSON unless noted):
+
+- ``POST /submit`` — body ``{"workload": "Sobel", "relax_bits": 16,
+  "dataset_bytes": 67108864, "tenant": "alice", "priority": 1,
+  "deadline_s": 2.5}`` (only ``workload`` required).  Replies ``202
+  {"id": ..., "status": "queued"}``; admission rejection is ``429`` with
+  a ``Retry-After`` header, an unknown workload or bad field is ``400``,
+  no healthy shard is ``503``.
+- ``GET /result/<id>`` — ``200`` with the terminal
+  :class:`~repro.serving.scheduler.ServeResult` once done, ``202
+  {"status": "pending"}`` while queued/executing, ``404`` for unknown ids.
+- ``GET /healthz`` — ``200`` while at least one shard admits traffic,
+  ``503`` otherwise.
+- ``GET /stats`` — scheduler depths, admission counters, per-shard
+  served/failures/busy time.
+- ``GET /metrics`` — the process Prometheus scrape (text exposition).
+
+:func:`build_server` wires these routes into the shared
+:class:`~repro.serving.http.JsonHttpServer`; :func:`quick_selftest`
+boots a real server on an ephemeral port, round-trips a workload through
+plain ``urllib`` and asserts the result is correct — the CI smoke test
+behind ``repro serve --quick``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+import urllib.error
+import urllib.request
+
+from repro.errors import (
+    AdmissionRejectedError,
+    ReproError,
+    ServingError,
+    ShardUnavailableError,
+)
+from repro.serving.http import PROMETHEUS_CONTENT_TYPE, JsonHttpServer
+from repro.serving.pool import CrossbarPool
+from repro.units import MIB
+
+__all__ = ["build_routes", "build_server", "quick_selftest"]
+
+_SUBMIT_FIELDS = {
+    "workload", "relax_bits", "dataset_bytes", "tenant", "priority",
+    "deadline_s",
+}
+
+
+def _submit_handler(pool: CrossbarPool):
+    def handle(_match, body):
+        if not isinstance(body, dict) or "workload" not in body:
+            return 400, {"error": 'body must be JSON with a "workload" key'}
+        unknown = set(body) - _SUBMIT_FIELDS
+        if unknown:
+            return 400, {"error": f"unknown fields {sorted(unknown)}"}
+        try:
+            request_id = pool.submit(
+                workload=str(body["workload"]),
+                relax_bits=int(body.get("relax_bits", 0)),
+                dataset_bytes=float(body.get("dataset_bytes", 64 * MIB)),
+                tenant=str(body.get("tenant", "default")),
+                priority=(
+                    None
+                    if body.get("priority") is None
+                    else int(body["priority"])
+                ),
+                deadline_s=(
+                    None
+                    if body.get("deadline_s") is None
+                    else float(body["deadline_s"])
+                ),
+            )
+        except AdmissionRejectedError as exc:
+            return (
+                429,
+                {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                {"Retry-After": f"{exc.retry_after_s:.3f}"},
+            )
+        except ShardUnavailableError as exc:
+            return 503, {"error": str(exc)}
+        except (ServingError, ValueError, TypeError) as exc:
+            return 400, {"error": str(exc)}
+        except ReproError as exc:
+            return 400, {"error": f"{type(exc).__name__}: {exc}"}
+        return 202, {"id": request_id, "status": "queued"}
+
+    return handle
+
+
+def _result_handler(pool: CrossbarPool):
+    def handle(match, _body):
+        request_id = match.group("id")
+        status = pool.results.status(request_id)
+        if status == "unknown":
+            return 404, {"error": f"unknown request id {request_id!r}"}
+        if status == "pending":
+            return 202, {"id": request_id, "status": "pending"}
+        return 200, pool.results.get(request_id).to_dict()
+
+    return handle
+
+
+def _healthz_handler(pool: CrossbarPool):
+    def handle(_match, _body):
+        health = pool.healthz()
+        return (200 if health["healthy_shards"] else 503), health
+
+    return handle
+
+
+def _stats_handler(pool: CrossbarPool):
+    def handle(_match, _body):
+        return 200, pool.stats()
+
+    return handle
+
+
+def _metrics_handler():
+    def handle(_match, _body):
+        from repro.observability import default_registry, to_prometheus
+
+        return (
+            200,
+            to_prometheus(default_registry()),
+            {"Content-Type": PROMETHEUS_CONTENT_TYPE},
+        )
+
+    return handle
+
+
+def build_routes(pool: CrossbarPool):
+    """The frontend route table over one pool."""
+    return [
+        ("POST", re.compile(r"/submit/?$"), _submit_handler(pool)),
+        (
+            "GET",
+            re.compile(r"/result/(?P<id>[A-Za-z0-9._:-]+)/?$"),
+            _result_handler(pool),
+        ),
+        ("GET", re.compile(r"/healthz/?$"), _healthz_handler(pool)),
+        ("GET", re.compile(r"/stats/?$"), _stats_handler(pool)),
+        ("GET", re.compile(r"/metrics/?$"), _metrics_handler()),
+    ]
+
+
+def build_server(
+    pool: CrossbarPool,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_body_bytes: int = 1 << 20,
+) -> JsonHttpServer:
+    """An HTTP server exposing ``pool`` (not yet started)."""
+    return JsonHttpServer(
+        build_routes(pool),
+        host=host,
+        port=port,
+        max_body_bytes=max_body_bytes,
+    )
+
+
+def _http_json(url: str, payload: dict | None = None, timeout: float = 10.0):
+    """One urllib round trip; returns (status, decoded JSON body)."""
+    if payload is None:
+        request = urllib.request.Request(url)
+    else:
+        body = json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            url, data=body, headers={"Content-Type": "application/json"}
+        )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read() or b"{}")
+
+
+def quick_selftest(shards: int = 2, workload: str = "Robert") -> int:
+    """Boot a real server, round-trip one workload, assert correctness.
+
+    Returns a process exit code: 0 when the served point matches a direct
+    (in-process) pricing of the same request, non-zero otherwise.  This is
+    the CI smoke behind ``repro serve --quick``.
+    """
+    pool = CrossbarPool(shards=shards, tile_elements=1 << 9)
+    server = build_server(pool)
+    failures: list[str] = []
+    with pool, server:
+        base = server.url
+        status, health = _http_json(f"{base}/healthz")
+        if status != 200 or health["healthy_shards"] != shards:
+            failures.append(f"healthz: {status} {health}")
+        status, reply = _http_json(
+            f"{base}/submit",
+            {"workload": workload, "relax_bits": 8, "tenant": "selftest"},
+        )
+        if status != 202 or "id" not in reply:
+            failures.append(f"submit: {status} {reply}")
+            request_id = None
+        else:
+            request_id = reply["id"]
+        result = None
+        if request_id is not None:
+            for _ in range(600):
+                status, result = _http_json(f"{base}/result/{request_id}")
+                if status == 200:
+                    break
+                time.sleep(0.05)
+            if status != 200:
+                failures.append(f"result never completed: {status} {result}")
+        if result is not None and status == 200:
+            point = result.get("point") or {}
+            if result.get("status") not in (
+                "ok", "retried", "degraded", "fallback"
+            ):
+                failures.append(f"bad terminal status: {result.get('status')}")
+            # Correctness: the served numbers equal a direct in-process
+            # pricing of the identical point (same seed, same tile).
+            from repro.core.approximation import ApproxSpec
+            from repro.runtime.comparison import ComparisonHarness
+            from repro.workloads import workload_by_name
+
+            direct = ComparisonHarness(tile_elements=1 << 9).compare(
+                workload_by_name(workload), 64 * MIB,
+                ApproxSpec.last_stage(8),
+            )
+            served_speedup = point.get("speedup")
+            if served_speedup is None or abs(
+                served_speedup - direct.speedup
+            ) > 1e-9 * abs(direct.speedup):
+                failures.append(
+                    f"served speedup {served_speedup} != direct "
+                    f"{direct.speedup}"
+                )
+        status, stats = _http_json(f"{base}/stats")
+        if status != 200 or stats["scheduler"]["admitted"] < 1:
+            failures.append(f"stats: {status} {stats}")
+        status, unknown = _http_json(f"{base}/result/nope")
+        if status != 404:
+            failures.append(f"unknown id should 404, got {status}")
+    if failures:
+        for failure in failures:
+            print(f"SELFTEST FAIL: {failure}")
+        return 1
+    print(
+        f"serve selftest ok: {workload} m=8 round-tripped through "
+        f"{shards} shard(s) over HTTP, result bit-identical to direct "
+        "pricing"
+    )
+    return 0

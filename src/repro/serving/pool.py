@@ -1,0 +1,495 @@
+"""The sharded crossbar pool: N independent executors serving one queue.
+
+Each shard owns a private :class:`~repro.runtime.comparison.ComparisonHarness`
+(its own :class:`~repro.runtime.executor.APIMExecutor`, tile cache and GPU
+baseline — no mutable state crosses shard boundaries) wrapped in a PR-2
+:class:`~repro.runtime.supervisor.Supervisor`.  Worker threads pull
+coalesced batches from the :class:`~repro.serving.scheduler.BatchingScheduler`
+and run each request through
+:func:`~repro.runtime.campaign.run_point`, inheriting the campaign
+runtime's whole rescue ladder: retry with jittered backoff, degrade up the
+relax rungs, fall back to the CPU baseline — every admitted request ends
+in exactly one terminal :class:`~repro.serving.scheduler.ServeResult`.
+
+Shard health is a per-shard :class:`CircuitBreaker`: requests that end
+``failed``/``error`` count as consecutive failures, and a tripped shard
+stops pulling work — the pull model reroutes traffic to healthy shards
+with no routing table.  Requests already held by a sick shard are pushed
+back to the *front* of the queue (bounded by ``max_reroutes``, after
+which the request executes anyway and lets the rescue ladder finish it).
+Mid-cooldown the breaker half-opens and the shard probes its way back.
+
+Construction is cheap; threads start on :meth:`start` (or lazily on the
+first :meth:`submit`).  The pool is also the in-process service facade:
+``submit``/``result``/``stats``/``healthz`` are exactly what the HTTP
+frontend exposes, and :class:`Client` wraps them for tests and load
+generators.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.core.config import APIMConfig
+from repro.errors import ServingError, ShardUnavailableError
+from repro.observability.instruments import (
+    record_reroute,
+    record_served,
+    record_shard_health,
+)
+from repro.quality.qos import QoSPolicy
+from repro.runtime.campaign import run_point
+from repro.runtime.comparison import ComparisonHarness
+from repro.runtime.supervisor import CircuitBreaker, RetryPolicy, Supervisor
+from repro.serving.scheduler import (
+    BatchingScheduler,
+    ResultStore,
+    ServeRequest,
+    ServeResult,
+    ServingConfig,
+)
+from repro.units import MIB
+from repro.workloads import workload_by_name
+
+__all__ = ["Client", "CrossbarPool", "PoolShard"]
+
+
+@dataclass
+class PoolShard:
+    """One shard: a private harness, supervisor and health breaker."""
+
+    index: int
+    harness: ComparisonHarness
+    supervisor: Supervisor
+    breaker: CircuitBreaker
+    chaos: object | None = None
+    served: int = 0
+    failures: int = 0
+    busy_s: float = 0.0
+    _workloads: dict = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        return f"shard{self.index}"
+
+    @property
+    def healthy(self) -> bool:
+        return not self.breaker.is_open(self.key)
+
+    def workload(self, name: str):
+        instance = self._workloads.get(name)
+        if instance is None:
+            instance = self._workloads[name] = workload_by_name(name)
+        return instance
+
+
+class CrossbarPool:
+    """Shards + workers + queue + results: the in-process serving core."""
+
+    def __init__(
+        self,
+        shards: int = 2,
+        serving_config: ServingConfig | None = None,
+        apim_config: APIMConfig | None = None,
+        tile_elements: int = 1 << 10,
+        seed: int = 2017,
+        retry: RetryPolicy | None = None,
+        deadline_s: float | None = None,
+        qos: QoSPolicy | None = None,
+        max_relax_bits: int = 32,
+        degradation_step: int = 4,
+        chaos_policy=None,
+        shard_failure_threshold: int = 3,
+        shard_cooldown_s: float = 0.25,
+        max_reroutes: int | None = None,
+        idle_poll_s: float = 0.02,
+        scheduler: BatchingScheduler | None = None,
+        results: ResultStore | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ServingError("pool needs at least one shard")
+        self.serving_config = serving_config or ServingConfig()
+        self.scheduler = scheduler or BatchingScheduler(self.serving_config)
+        self.results = results or ResultStore()
+        self.qos = qos or QoSPolicy()
+        self.max_relax_bits = max_relax_bits
+        self.degradation_step = degradation_step
+        self.max_reroutes = (
+            max_reroutes if max_reroutes is not None else max(1, shards - 1)
+        )
+        self.idle_poll_s = idle_poll_s
+        self.shards: list[PoolShard] = []
+        for index in range(shards):
+            harness = ComparisonHarness(
+                config=apim_config,
+                tile_elements=tile_elements,
+                rng_seed=seed,
+            )
+            breaker = CircuitBreaker(
+                failure_threshold=shard_failure_threshold,
+                cooldown_s=shard_cooldown_s,
+            )
+            supervisor = Supervisor(
+                retry=retry
+                or RetryPolicy(
+                    max_attempts=3,
+                    base_delay=0.002,
+                    max_delay=0.05,
+                    jitter_seed=seed + index,
+                ),
+                deadline_s=deadline_s,
+            )
+            chaos = None
+            if chaos_policy is not None:
+                from dataclasses import replace
+
+                from repro.runtime.chaos import ChaosInjector
+
+                chaos = ChaosInjector(
+                    replace(chaos_policy, seed=chaos_policy.seed + index)
+                )
+            self.shards.append(
+                PoolShard(
+                    index=index,
+                    harness=harness,
+                    supervisor=supervisor,
+                    breaker=breaker,
+                    chaos=chaos,
+                )
+            )
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._lifecycle = threading.Lock()
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    def start(self) -> "CrossbarPool":
+        """Spawn one worker thread per shard (idempotent-safe via
+        :meth:`ensure_started`; calling ``start`` twice is an error)."""
+        with self._lifecycle:
+            if self._started:
+                raise ServingError("pool already started")
+            self._stop.clear()
+            for shard in self.shards:
+                record_shard_health(shard.index, True)
+                thread = threading.Thread(
+                    target=self._worker,
+                    args=(shard,),
+                    name=f"crossbar-{shard.key}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+                self.scheduler.register_worker()
+            self._started = True
+        return self
+
+    def ensure_started(self) -> "CrossbarPool":
+        with self._lifecycle:
+            started = self._started
+        if not started:
+            self.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Shut the pool down.
+
+        ``drain=True`` (default) closes admission and waits for queued
+        requests to finish — nothing accepted is ever dropped.  With
+        ``drain=False`` workers stop after their current batch and
+        still-queued requests complete with status ``error``.
+        """
+        with self._lifecycle:
+            if not self._started:
+                return
+            self.scheduler.close()
+            if drain:
+                deadline = time.monotonic() + timeout
+                while (
+                    self.scheduler.depth() > 0 or self.results.pending > 0
+                ) and time.monotonic() < deadline:
+                    time.sleep(0.01)
+            self._stop.set()
+            for thread in self._threads:
+                thread.join(timeout=timeout)
+            self._threads.clear()
+            self._started = False
+            for shard in self.shards:
+                self.scheduler.unregister_worker()
+            if not drain:
+                while True:
+                    batch = self.scheduler.next_batch(timeout=0.0)
+                    if not batch:
+                        break
+                    for request in batch:
+                        self.results.complete(
+                            self._aborted(request, "pool stopped")
+                        )
+
+    def __enter__(self) -> "CrossbarPool":
+        return self.ensure_started()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- the service facade ---------------------------------------------------
+
+    def submit(
+        self,
+        workload: str,
+        relax_bits: int = 0,
+        dataset_bytes: float = 64 * MIB,
+        tenant: str = "default",
+        priority: int | None = None,
+        deadline_s: float | None = None,
+        block: bool = False,
+    ) -> str:
+        """Admit one request; returns its id (or raises
+        :class:`~repro.errors.AdmissionRejectedError` /
+        :class:`~repro.errors.ServingError`)."""
+        try:
+            workload_by_name(workload)  # reject unknown names at the door
+        except KeyError as exc:
+            raise ServingError(f"unknown workload {workload!r}") from exc
+        if relax_bits < 0:
+            raise ServingError(f"relax_bits must be non-negative: {relax_bits}")
+        if dataset_bytes <= 0:
+            raise ServingError(f"dataset_bytes must be positive: {dataset_bytes}")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ServingError(f"deadline_s must be positive: {deadline_s}")
+        self.ensure_started()
+        if not any(shard.healthy for shard in self.shards):
+            raise ShardUnavailableError(
+                "every shard's breaker is open; retry after cooldown"
+            )
+        request = ServeRequest(
+            id=self.scheduler.next_id(tenant),
+            workload=workload,
+            relax_bits=int(relax_bits),
+            dataset_bytes=int(dataset_bytes),
+            tenant=tenant,
+            priority=(
+                self.serving_config.default_priority
+                if priority is None
+                else int(priority)
+            ),
+            deadline_at=(
+                None
+                if deadline_s is None
+                else self.scheduler.clock() + deadline_s
+            ),
+        )
+        self.results.register(request.id)
+        try:
+            self.scheduler.submit(request, block=block)
+        except Exception:
+            # Not admitted: the id must not linger as a pending ghost.
+            self.results.discard(request.id)
+            raise
+        return request.id
+
+    def result(
+        self, request_id: str, timeout: float | None = None
+    ) -> ServeResult:
+        """Block for a request's terminal result (raises on timeout)."""
+        result = self.results.wait(request_id, timeout=timeout)
+        if result is None:
+            raise ServingError(
+                f"request {request_id!r} still pending after {timeout}s"
+            )
+        return result
+
+    def healthz(self) -> dict:
+        healthy = sum(1 for shard in self.shards if shard.healthy)
+        return {
+            "status": "ok" if healthy == len(self.shards) else (
+                "degraded" if healthy else "unhealthy"
+            ),
+            "shards": len(self.shards),
+            "healthy_shards": healthy,
+            "started": self._started,
+        }
+
+    def stats(self) -> dict:
+        return {
+            "scheduler": self.scheduler.stats(),
+            "results": {
+                "pending": self.results.pending,
+                "completed": self.results.completed,
+                "evicted": self.results.evicted,
+            },
+            "shards": [
+                {
+                    "index": shard.index,
+                    "healthy": shard.healthy,
+                    "served": shard.served,
+                    "failures": shard.failures,
+                    "busy_s": shard.busy_s,
+                }
+                for shard in self.shards
+            ],
+        }
+
+    # -- the worker loop ------------------------------------------------------
+
+    def _aborted(self, request: ServeRequest, reason: str) -> ServeResult:
+        return ServeResult(
+            id=request.id,
+            tenant=request.tenant,
+            workload=request.workload,
+            relax_bits=request.relax_bits,
+            dataset_bytes=request.dataset_bytes,
+            status="error",
+            error=reason,
+        )
+
+    def _expired(self, request: ServeRequest, now: float) -> bool:
+        return request.deadline_at is not None and now >= request.deadline_at
+
+    def _worker(self, shard: PoolShard) -> None:
+        while not self._stop.is_set():
+            if not shard.healthy:
+                record_shard_health(shard.index, False)
+                time.sleep(min(self.idle_poll_s, 0.05))
+                continue
+            record_shard_health(shard.index, True)
+            batch = self.scheduler.next_batch(timeout=self.idle_poll_s)
+            if not batch:
+                continue
+            self._run_batch(shard, batch)
+
+    def _run_batch(
+        self, shard: PoolShard, batch: list[ServeRequest]
+    ) -> None:
+        for position, request in enumerate(batch):
+            if not shard.healthy and request.reroutes < self.max_reroutes:
+                # Breaker tripped mid-batch: hand the rest back so a
+                # healthy shard picks it up.
+                rerouted = batch[position:]
+                self.scheduler.requeue(rerouted)
+                record_reroute(len(rerouted))
+                return
+            self._run_request(shard, request, len(batch))
+
+    def _run_request(
+        self, shard: PoolShard, request: ServeRequest, batch_size: int
+    ) -> None:
+        now = time.monotonic()
+        queue_wait = max(0.0, now - request.submitted_at)
+        if self._expired(request, now):
+            result = ServeResult(
+                id=request.id,
+                tenant=request.tenant,
+                workload=request.workload,
+                relax_bits=request.relax_bits,
+                dataset_bytes=request.dataset_bytes,
+                status="expired",
+                shard=shard.index,
+                queue_wait_s=queue_wait,
+                batch_size=batch_size,
+                error="deadline passed while queued",
+            )
+            self.results.complete(result)
+            record_served(shard.index, request.tenant, "expired", 0.0)
+            return
+        start = time.monotonic()
+        try:
+            point = run_point(
+                shard.workload(request.workload),
+                request.relax_bits,
+                float(request.dataset_bytes),
+                shard.harness,
+                supervisor=shard.supervisor,
+                chaos=shard.chaos,
+                qos=self.qos,
+                max_relax_bits=self.max_relax_bits,
+                degradation_step=self.degradation_step,
+                key_prefix=f"{shard.key}/",
+            )
+            status = point.status
+            attempts = point.attempts
+            error = None
+        except Exception as exc:  # run_point's contract says "never";
+            point = None  # this is the belt-and-braces terminal path.
+            status = "error"
+            attempts = 0
+            error = f"{type(exc).__name__}: {exc}"
+        service_s = time.monotonic() - start
+        shard.served += 1
+        shard.busy_s += service_s
+        if status in ("failed", "error"):
+            shard.failures += 1
+            shard.breaker.record_failure(shard.key)
+            record_shard_health(shard.index, shard.healthy)
+        else:
+            shard.breaker.record_success(shard.key)
+        self.scheduler.note_service_time(service_s)
+        result = ServeResult(
+            id=request.id,
+            tenant=request.tenant,
+            workload=request.workload,
+            relax_bits=request.relax_bits,
+            dataset_bytes=request.dataset_bytes,
+            status=status,
+            shard=shard.index,
+            attempts=attempts,
+            queue_wait_s=queue_wait,
+            service_s=service_s,
+            batch_size=batch_size,
+            point=point,
+            error=error,
+        )
+        self.results.complete(result)
+        record_served(shard.index, request.tenant, status, service_s)
+
+
+class Client:
+    """In-process client: submit-and-wait against a :class:`CrossbarPool`.
+
+    The synchronous call path used by tests, the ``--quick`` self-test
+    and the closed-loop arms of the throughput bench; the HTTP frontend
+    is the same facade over a socket.
+    """
+
+    def __init__(self, pool: CrossbarPool, tenant: str = "default") -> None:
+        self.pool = pool
+        self.tenant = tenant
+
+    def submit(self, workload: str, **kwargs) -> str:
+        kwargs.setdefault("tenant", self.tenant)
+        return self.pool.submit(workload, **kwargs)
+
+    def result(
+        self, request_id: str, timeout: float | None = 60.0
+    ) -> ServeResult:
+        return self.pool.result(request_id, timeout=timeout)
+
+    def call(
+        self,
+        workload: str,
+        relax_bits: int = 0,
+        dataset_bytes: float = 64 * MIB,
+        priority: int | None = None,
+        deadline_s: float | None = None,
+        timeout: float | None = 60.0,
+    ) -> ServeResult:
+        """Submit one request and block for its terminal result."""
+        request_id = self.submit(
+            workload,
+            relax_bits=relax_bits,
+            dataset_bytes=dataset_bytes,
+            priority=priority,
+            deadline_s=deadline_s,
+        )
+        return self.result(request_id, timeout=timeout)

@@ -1,0 +1,534 @@
+"""Request queueing: bounded priority queues, batching, admission control.
+
+The serving layer's brain.  A :class:`BatchingScheduler` owns one bounded
+queue per priority class (0 is most urgent); within a class, requests are
+kept per tenant and dispatched round-robin across tenants (fair share) and
+FIFO within a tenant.  Shard workers pull :meth:`next_batch`, which
+coalesces queued requests that share a *batch key* — identical
+``(workload, relax_bits, dataset_bytes)`` — up to ``max_batch_size``,
+waiting at most ``max_wait_s`` for stragglers: same-key requests priced
+back to back hit the shard harness's warm tile cache, so a batch of B
+costs one tile execution plus B-1 cache hits.
+
+Admission control runs at :meth:`submit` time and never over-admits:
+
+- a full priority class rejects with
+  :class:`~repro.errors.AdmissionRejectedError` carrying ``retry_after_s``
+  (backpressure: clients resubmit later instead of queueing unboundedly);
+- a request whose relative deadline is already shorter than the estimated
+  queue delay (backlog x a service-time EMA over active shards) is
+  rejected immediately — better a fast "no" than a guaranteed-late "yes";
+- batch/internal submitters (the campaign runner) pass ``block=True`` to
+  wait for capacity instead of being rejected.
+
+Every admitted request is registered in a :class:`ResultStore` before it
+becomes visible to workers, and every terminal path writes exactly one
+result — the no-lost/no-duplicated invariant the property tests pin.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import AdmissionRejectedError, ConfigurationError, ServingError
+from repro.observability.instruments import (
+    record_admission,
+    record_batch,
+    record_queue_wait,
+    set_queue_depth,
+)
+from repro.units import MIB
+
+if TYPE_CHECKING:
+    from repro.runtime.campaign import CampaignPoint
+
+__all__ = [
+    "BatchingScheduler",
+    "ResultStore",
+    "ServeRequest",
+    "ServeResult",
+    "ServingConfig",
+]
+
+#: Statuses a served request can end in.  The first five mirror the
+#: campaign's terminal statuses (the point completed, possibly rescued);
+#: ``expired`` means the deadline passed while queued, ``error`` means the
+#: shard hit an unexpected exception — terminal either way, never lost.
+RESULT_STATUSES = (
+    "ok", "retried", "degraded", "fallback", "failed", "expired", "error",
+)
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs of the batching scheduler and admission controller."""
+
+    #: Coalescing ceiling: a dispatched batch never exceeds this.
+    max_batch_size: int = 8
+    #: How long a partially filled batch waits for same-key stragglers.
+    max_wait_s: float = 0.002
+    #: Bounded capacity of each priority class (across its tenants).
+    queue_capacity: int = 64
+    #: Number of priority classes; 0 is served first.
+    priorities: int = 3
+    #: Class assigned when a request does not name one.
+    default_priority: int = 1
+    #: Suggested client backoff in a queue-full rejection.
+    retry_after_s: float = 0.05
+    #: EMA smoothing for the per-request service-time estimate feeding
+    #: deadline admission (0 < alpha <= 1; higher tracks faster).
+    service_ema_alpha: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ConfigurationError("max_batch_size must be at least 1")
+        if self.max_wait_s < 0:
+            raise ConfigurationError("max_wait_s must be non-negative")
+        if self.queue_capacity < 1:
+            raise ConfigurationError("queue_capacity must be at least 1")
+        if self.priorities < 1:
+            raise ConfigurationError("need at least one priority class")
+        if not 0 <= self.default_priority < self.priorities:
+            raise ConfigurationError(
+                f"default_priority {self.default_priority} outside "
+                f"[0, {self.priorities})"
+            )
+        if self.retry_after_s < 0:
+            raise ConfigurationError("retry_after_s must be non-negative")
+        if not 0 < self.service_ema_alpha <= 1:
+            raise ConfigurationError("service_ema_alpha must be in (0, 1]")
+
+
+@dataclass
+class ServeRequest:
+    """One unit of client work: price a workload point on the pool."""
+
+    id: str
+    workload: str
+    relax_bits: int = 0
+    dataset_bytes: int = int(64 * MIB)
+    tenant: str = "default"
+    priority: int = 1
+    #: Absolute (scheduler-clock) expiry, or None for no deadline.
+    deadline_at: float | None = None
+    submitted_at: float = 0.0
+    #: Times the request was pushed back after landing on a sick shard.
+    reroutes: int = 0
+
+    @property
+    def batch_key(self) -> tuple[str, int, int]:
+        """Requests sharing this key coalesce into one batch."""
+        return (self.workload, self.relax_bits, self.dataset_bytes)
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """Terminal outcome of one request (exactly one per admitted id)."""
+
+    id: str
+    tenant: str
+    workload: str
+    relax_bits: int
+    dataset_bytes: int
+    status: str
+    shard: int = -1
+    attempts: int = 0
+    queue_wait_s: float = 0.0
+    service_s: float = 0.0
+    batch_size: int = 0
+    point: "CampaignPoint | None" = None
+    error: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.status not in RESULT_STATUSES:
+            raise ConfigurationError(
+                f"status {self.status!r} not in {RESULT_STATUSES}"
+            )
+
+    @property
+    def completed(self) -> bool:
+        """True when the request produced a usable measurement."""
+        return self.status in ("ok", "retried", "degraded", "fallback")
+
+    def to_dict(self) -> dict:
+        """A JSON-able rendering (the frontend's response body)."""
+        import dataclasses
+
+        out = dataclasses.asdict(self)
+        if self.point is not None:
+            out["point"] = dataclasses.asdict(self.point)
+        return out
+
+
+class _TenantRing:
+    """Per-tenant FIFO deques with a round-robin dispatch pointer."""
+
+    def __init__(self) -> None:
+        self.queues: "OrderedDict[str, deque[ServeRequest]]" = OrderedDict()
+        self._ring: list[str] = []
+        self._next = 0
+        self.size = 0
+
+    def push(self, request: ServeRequest) -> None:
+        queue = self.queues.get(request.tenant)
+        if queue is None:
+            queue = self.queues[request.tenant] = deque()
+            self._ring.append(request.tenant)
+        queue.append(request)
+        self.size += 1
+
+    def push_front(self, request: ServeRequest) -> None:
+        queue = self.queues.get(request.tenant)
+        if queue is None:
+            queue = self.queues[request.tenant] = deque()
+            self._ring.append(request.tenant)
+        queue.appendleft(request)
+        self.size += 1
+
+    def pop_next(self) -> ServeRequest | None:
+        """The next request under round-robin tenant fairness."""
+        if self.size == 0:
+            return None
+        n = len(self._ring)
+        for offset in range(n):
+            tenant = self._ring[(self._next + offset) % n]
+            queue = self.queues.get(tenant)
+            if queue:
+                self._next = (self._next + offset + 1) % n
+                self.size -= 1
+                return queue.popleft()
+        return None
+
+    def pop_matching(self, key: tuple, limit: int) -> list[ServeRequest]:
+        """Up to ``limit`` queued requests with ``batch_key == key``, in
+        per-tenant FIFO order (coalescing may overtake *other* keys, never
+        an earlier request of the same key)."""
+        taken: list[ServeRequest] = []
+        if limit <= 0 or self.size == 0:
+            return taken
+        for tenant in self._ring:
+            queue = self.queues.get(tenant)
+            if not queue:
+                continue
+            kept: deque[ServeRequest] = deque()
+            while queue:
+                request = queue.popleft()
+                if len(taken) < limit and request.batch_key == key:
+                    taken.append(request)
+                else:
+                    kept.append(request)
+            self.queues[tenant] = kept
+            if len(taken) >= limit:
+                break
+        self.size -= len(taken)
+        return taken
+
+
+class BatchingScheduler:
+    """Bounded, fair, batch-coalescing request queues (thread-safe)."""
+
+    def __init__(
+        self,
+        config: ServingConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or ServingConfig()
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._nonempty = threading.Condition(self._lock)
+        self._space = threading.Condition(self._lock)
+        self._classes = [_TenantRing() for _ in range(self.config.priorities)]
+        self._seq = itertools.count()
+        self._closed = False
+        self._workers = 0
+        self._ema_service_s: float | None = None
+        self.admitted = 0
+        self.rejected = {"queue_full": 0, "deadline": 0, "closed": 0}
+
+    # -- bookkeeping used by the pool ----------------------------------------
+
+    def register_worker(self) -> None:
+        with self._lock:
+            self._workers += 1
+
+    def unregister_worker(self) -> None:
+        with self._lock:
+            self._workers = max(0, self._workers - 1)
+
+    def note_service_time(self, seconds: float) -> None:
+        """Feed one per-request service time into the admission EMA."""
+        alpha = self.config.service_ema_alpha
+        with self._lock:
+            if self._ema_service_s is None:
+                self._ema_service_s = seconds
+            else:
+                self._ema_service_s += alpha * (seconds - self._ema_service_s)
+
+    # -- introspection --------------------------------------------------------
+
+    def depth(self, priority: int | None = None) -> int:
+        """Queued requests in one class (or in total)."""
+        with self._lock:
+            if priority is None:
+                return sum(ring.size for ring in self._classes)
+            return self._classes[priority].size
+
+    def estimated_delay_s(self) -> float:
+        """Backlog x EMA service time over active workers — the admission
+        controller's queue-delay estimate (0 until a service time exists)."""
+        with self._lock:
+            return self._estimated_delay_locked()
+
+    def _estimated_delay_locked(self) -> float:
+        if self._ema_service_s is None:
+            return 0.0
+        backlog = sum(ring.size for ring in self._classes)
+        return backlog * self._ema_service_s / max(1, self._workers)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "depths": [ring.size for ring in self._classes],
+                "tenants": sorted(
+                    {
+                        tenant
+                        for ring in self._classes
+                        for tenant in ring.queues
+                    }
+                ),
+                "workers": self._workers,
+                "admitted": self.admitted,
+                "rejected": dict(self.rejected),
+                "ema_service_s": self._ema_service_s,
+                "estimated_delay_s": self._estimated_delay_locked(),
+            }
+
+    # -- the producer side ----------------------------------------------------
+
+    def submit(self, request: ServeRequest, block: bool = False) -> None:
+        """Admit ``request`` or raise :class:`AdmissionRejectedError`.
+
+        ``block=True`` (internal/batch submitters) waits for queue space
+        instead of rejecting; deadline admission still applies.
+        """
+        priority = request.priority
+        if not 0 <= priority < self.config.priorities:
+            raise ServingError(
+                f"priority {priority} outside [0, {self.config.priorities})"
+            )
+        with self._lock:
+            if self._closed:
+                self.rejected["closed"] += 1
+                record_admission("rejected_closed")
+                raise ServingError("scheduler is closed to new requests")
+            ring = self._classes[priority]
+            while ring.size >= self.config.queue_capacity:
+                if not block:
+                    self.rejected["queue_full"] += 1
+                    record_admission("rejected_queue_full")
+                    raise AdmissionRejectedError(
+                        f"priority-{priority} queue at capacity "
+                        f"{self.config.queue_capacity}; retry in "
+                        f"{self.config.retry_after_s}s",
+                        retry_after_s=self.config.retry_after_s,
+                    )
+                self._space.wait(timeout=0.1)
+                if self._closed:
+                    self.rejected["closed"] += 1
+                    record_admission("rejected_closed")
+                    raise ServingError("scheduler closed while waiting")
+            now = self.clock()
+            if request.deadline_at is not None:
+                slack = request.deadline_at - now
+                if slack <= self._estimated_delay_locked():
+                    self.rejected["deadline"] += 1
+                    record_admission("rejected_deadline")
+                    raise AdmissionRejectedError(
+                        f"{request.id}: {slack:.3f}s of deadline slack < "
+                        f"estimated queue delay "
+                        f"{self._estimated_delay_locked():.3f}s",
+                        retry_after_s=self.config.retry_after_s,
+                    )
+            request.submitted_at = now
+            ring.push(request)
+            self.admitted += 1
+            record_admission("admitted")
+            set_queue_depth(priority, ring.size)
+            self._nonempty.notify_all()
+
+    def requeue(self, requests: list[ServeRequest]) -> None:
+        """Push rerouted requests back at the *front* of their queues
+        (they already waited once; capacity bounds do not re-apply)."""
+        if not requests:
+            return
+        with self._lock:
+            for request in reversed(requests):
+                request.reroutes += 1
+                ring = self._classes[request.priority]
+                ring.push_front(request)
+                set_queue_depth(request.priority, ring.size)
+            self._nonempty.notify_all()
+
+    # -- the consumer side ----------------------------------------------------
+
+    def _pop_head_locked(self) -> ServeRequest | None:
+        for ring in self._classes:
+            request = ring.pop_next()
+            if request is not None:
+                return request
+        return None
+
+    def _gather_locked(self, key: tuple, limit: int) -> list[ServeRequest]:
+        taken: list[ServeRequest] = []
+        for ring in self._classes:
+            taken.extend(ring.pop_matching(key, limit - len(taken)))
+            if len(taken) >= limit:
+                break
+        return taken
+
+    def next_batch(self, timeout: float = 0.05) -> list[ServeRequest]:
+        """The next coalesced batch, or ``[]`` after ``timeout`` idle.
+
+        Waits up to ``timeout`` for any request, then up to
+        ``config.max_wait_s`` more for same-key stragglers while the batch
+        is short of ``max_batch_size``.
+        """
+        deadline = self.clock() + timeout
+        with self._lock:
+            head = self._pop_head_locked()
+            while head is None:
+                remaining = deadline - self.clock()
+                if remaining <= 0 or self._closed:
+                    return []
+                self._nonempty.wait(remaining)
+                head = self._pop_head_locked()
+            batch = [head]
+            key = head.batch_key
+            limit = self.config.max_batch_size
+            batch.extend(self._gather_locked(key, limit - len(batch)))
+            if self.config.max_wait_s > 0 and len(batch) < limit:
+                wait_until = self.clock() + self.config.max_wait_s
+                while len(batch) < limit and not self._closed:
+                    remaining = wait_until - self.clock()
+                    if remaining <= 0:
+                        break
+                    self._nonempty.wait(remaining)
+                    batch.extend(
+                        self._gather_locked(key, limit - len(batch))
+                    )
+            now = self.clock()
+            for request in batch:
+                record_queue_wait(max(0.0, now - request.submitted_at))
+            record_batch(len(batch))
+            for priority in {request.priority for request in batch}:
+                set_queue_depth(priority, self._classes[priority].size)
+            self._space.notify_all()
+            return batch
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Refuse new submissions; queued requests stay drainable."""
+        with self._lock:
+            self._closed = True
+            self._nonempty.notify_all()
+            self._space.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def next_id(self, tenant: str) -> str:
+        """A unique request id (monotonic per scheduler)."""
+        return f"{tenant}-{next(self._seq):08d}"
+
+
+class ResultStore:
+    """Terminal results by request id, with completion waiting.
+
+    Every admitted request is :meth:`register`-ed before workers can see
+    it and :meth:`complete`-d exactly once; duplicate completions raise
+    (the double-execution tripwire).  Fetched-or-not, finished results are
+    kept up to ``capacity`` and then evicted oldest-first.
+    """
+
+    def __init__(self, capacity: int = 8192) -> None:
+        if capacity < 1:
+            raise ConfigurationError("capacity must be at least 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._done = threading.Condition(self._lock)
+        self._results: "OrderedDict[str, ServeResult]" = OrderedDict()
+        self._pending: set[str] = set()
+        self.evicted = 0
+
+    def register(self, request_id: str) -> None:
+        with self._lock:
+            if request_id in self._pending or request_id in self._results:
+                raise ServingError(f"request id {request_id!r} already known")
+            self._pending.add(request_id)
+
+    def complete(self, result: ServeResult) -> None:
+        with self._lock:
+            if result.id in self._results:
+                raise ServingError(
+                    f"request {result.id!r} completed twice — scheduler "
+                    "invariant broken"
+                )
+            self._pending.discard(result.id)
+            self._results[result.id] = result
+            while len(self._results) > self.capacity:
+                self._results.popitem(last=False)
+                self.evicted += 1
+            self._done.notify_all()
+
+    def discard(self, request_id: str) -> None:
+        """Forget a registered-but-never-admitted id (admission failure
+        cleanup: the id was never returned to a client)."""
+        with self._lock:
+            self._pending.discard(request_id)
+
+    def status(self, request_id: str) -> str:
+        """``pending`` / ``done`` / ``unknown``."""
+        with self._lock:
+            if request_id in self._results:
+                return "done"
+            if request_id in self._pending:
+                return "pending"
+            return "unknown"
+
+    def get(self, request_id: str) -> ServeResult | None:
+        with self._lock:
+            return self._results.get(request_id)
+
+    def wait(
+        self, request_id: str, timeout: float | None = None
+    ) -> ServeResult | None:
+        """Block until the id completes (or ``timeout``); None on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while request_id not in self._results:
+                if request_id not in self._pending:
+                    raise ServingError(f"unknown request id {request_id!r}")
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._done.wait(remaining)
+            return self._results[request_id]
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def completed(self) -> int:
+        with self._lock:
+            return len(self._results)

@@ -15,6 +15,7 @@ import pytest
 
 import repro.errors as errors_module
 from repro.errors import (
+    AdmissionRejectedError,
     ApproximationError,
     CheckpointError,
     CircuitOpenError,
@@ -27,11 +28,14 @@ from repro.errors import (
     QoSError,
     RecoveryError,
     ReproError,
+    ServingError,
+    ShardUnavailableError,
     TransientError,
     WorkloadError,
 )
 
 ALL_ERRORS = [
+    AdmissionRejectedError,
     ApproximationError,
     CheckpointError,
     CircuitOpenError,
@@ -43,6 +47,8 @@ ALL_ERRORS = [
     KernelExecutionError,
     QoSError,
     RecoveryError,
+    ServingError,
+    ShardUnavailableError,
     TransientError,
     WorkloadError,
 ]
@@ -122,6 +128,22 @@ class TestHierarchy:
         with pytest.raises(KernelExecutionError) as info:
             APIMExecutor().run(ExplodingWorkload(), elements=8)
         assert isinstance(info.value.__cause__, ValueError)
+
+    def test_serving_errors_subclass_serving_error(self):
+        """One ``except ServingError`` covers the whole serving surface."""
+        for exc in (AdmissionRejectedError, ShardUnavailableError):
+            assert issubclass(exc, ServingError)
+        assert not issubclass(ServingError, WorkloadError)
+
+    def test_admission_rejection_carries_retry_after(self):
+        """The backpressure contract: a rejection tells the client when
+        to come back, and the default is positive."""
+        exc = AdmissionRejectedError("queue full")
+        assert exc.retry_after_s > 0
+        exc = AdmissionRejectedError("queue full", retry_after_s=1.5)
+        assert exc.retry_after_s == 1.5
+        with pytest.raises(ServingError):
+            raise exc
 
     def test_fault_errors_importable_from_resilience_surface(self):
         """The resilience subsystem raises exactly these types."""
