@@ -17,7 +17,12 @@ Commands:
   and dump (or serve) the Prometheus scrape.
 - ``serve`` — boot the sharded serving frontend: a :class:`CrossbarPool`
   behind the JSON-over-HTTP API (``/submit``, ``/result/<id>``,
-  ``/healthz``, ``/stats``, ``/metrics``).
+  ``/trace/<id>``, ``/healthz``, ``/stats``, ``/metrics``).
+- ``slo`` — drive a request burst through a pool and report per-layer
+  tail latency (p50/p95/p99/p999) plus multi-window burn-rate verdicts
+  against an SLO policy.
+- ``trace`` — pretty-print one request's end-to-end trace timeline
+  (from a live demo pool with ``--quick``, or a JSONL spill file).
 - ``workloads`` — list available workloads.
 """
 
@@ -191,6 +196,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="self-test (CI): boot on an ephemeral port, round-trip one "
         "workload over HTTP, verify the result, exit",
+    )
+
+    p = sub.add_parser(
+        "slo",
+        help="serve a request burst and report tail latency + SLO burn "
+        "rates",
+    )
+    p.add_argument("--workloads", nargs="+", default=["Sobel", "Robert"])
+    p.add_argument("--levels", type=int, nargs="+", default=[0, 16])
+    p.add_argument("--repeat", type=int, default=3,
+                   help="passes over the (workload x level) grid")
+    p.add_argument("--shards", type=int, default=1)
+    p.add_argument("--tile", type=int, default=1 << 10)
+    p.add_argument(
+        "--target", type=float, default=2.0,
+        help="end-to-end latency objective in seconds",
+    )
+    p.add_argument(
+        "--budget", type=float, default=0.01,
+        help="error budget (allowed bad-request fraction)",
+    )
+    p.add_argument(
+        "--chaos-rate", type=float, default=0.0,
+        help="transient-fault injection rate while serving",
+    )
+    p.add_argument("--seed", type=int, default=2017)
+    p.add_argument(
+        "--quick", action="store_true",
+        help="tiny burst (CI): one workload, two levels, small tile",
+    )
+
+    p = sub.add_parser(
+        "trace",
+        help="pretty-print one request's end-to-end trace timeline",
+    )
+    p.add_argument(
+        "trace_id", nargs="?", default=None,
+        help="trace id (or request id) to print",
+    )
+    p.add_argument(
+        "--file", default=None,
+        help="read traces from a TraceStore JSONL spill file",
+    )
+    p.add_argument("--seed", type=int, default=2017)
+    p.add_argument(
+        "--quick", action="store_true",
+        help="demo/CI: serve one chaos-faulted request in-process and "
+        "print its timeline",
     )
 
     p = sub.add_parser(
@@ -413,6 +466,146 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_slo(args: argparse.Namespace) -> int:
+    """Serve a burst through a pool; report tails and burn-rate verdicts."""
+    from repro.observability.slo import SLOPolicy, evaluate_points
+    from repro.serving.pool import Client, CrossbarPool
+
+    workloads = ["Robert"] if args.quick else list(args.workloads)
+    levels = [0, 16] if args.quick else list(args.levels)
+    tile = (1 << 9) if args.quick else args.tile
+    repeat = 2 if args.quick else args.repeat
+    policy = SLOPolicy(
+        latency_target_s=args.target,
+        error_budget=args.budget,
+        min_events=1,  # the burst is the whole population; always judge it
+    )
+    chaos = None
+    if args.chaos_rate:
+        from repro.runtime.chaos import ChaosPolicy
+
+        chaos = ChaosPolicy(
+            transient_rate=args.chaos_rate,
+            latency_rate=0.0,
+            corrupt_rate=0.0,
+            seed=args.seed,
+        )
+    pool = CrossbarPool(
+        shards=args.shards,
+        tile_elements=tile,
+        seed=args.seed,
+        chaos_policy=chaos,
+        slo_policy=policy,
+    )
+    results = []
+    with pool:
+        client = Client(pool, tenant="slo")
+        for _ in range(repeat):
+            for workload in workloads:
+                for level in levels:
+                    results.append(
+                        client.call(
+                            workload, relax_bits=level,
+                            dataset_bytes=1 << 20,
+                        )
+                    )
+        live = pool.slo.evaluate()
+        tails = pool.latency.summary()
+        health = pool.healthz()
+    offline = evaluate_points(
+        [
+            {
+                "status": r.status,
+                "apim_time_s": r.queue_wait_s + r.service_s,
+            }
+            for r in results
+        ],
+        policy,
+    )
+    print(
+        f"slo: {len(results)} request(s), target {policy.latency_target_s}s"
+        f" end-to-end, budget {policy.error_budget:.2%}"
+    )
+    print(
+        f"  burn rates   : short({live['short_window_s']:.0f}s)="
+        f"{live['short_burn']:.2f}  long({live['long_window_s']:.0f}s)="
+        f"{live['long_burn']:.2f}  verdict={live['verdict']}"
+    )
+    print(
+        f"  offline grid : bad={offline['bad']}/{offline['total']} "
+        f"burn={offline['burn_rate']:.2f} verdict={offline['verdict']}"
+        + (f" reasons={offline['by_reason']}" if offline["by_reason"] else "")
+    )
+    print(f"  healthz      : {health['status']}")
+    print(f"  {'layer':<12} {'count':>6} {'p50':>10} {'p95':>10} "
+          f"{'p99':>10} {'p999':>10}")
+    for layer, summary in tails.items():
+        print(
+            f"  {layer:<12} {summary['count']:>6} "
+            f"{format_si(summary['p50'], 's'):>10} "
+            f"{format_si(summary['p95'], 's'):>10} "
+            f"{format_si(summary['p99'], 's'):>10} "
+            f"{format_si(summary['p999'], 's'):>10}"
+        )
+    return 1 if live["verdict"] == "fast_burn" else 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Pretty-print a trace timeline (live demo or spill file)."""
+    from repro.observability.tracing import format_timeline, load_spilled
+
+    if args.file is not None:
+        records = load_spilled(args.file)
+        if args.trace_id is None:
+            print(f"{args.file}: {len(records)} spilled trace(s)")
+            for record in records:
+                print(f"  {record.trace_id}  events={len(record.events)}")
+            return 0
+        for record in records:
+            if record.trace_id == args.trace_id:
+                print(format_timeline(record))
+                return 0
+        print(f"trace {args.trace_id!r} not found in {args.file}")
+        return 1
+    if not args.quick:
+        print(
+            "repro trace needs --quick (in-process demo) or "
+            "--file SPILL.jsonl; live servers expose GET /trace/<id>"
+        )
+        return 2
+    from repro.runtime.chaos import ChaosPolicy
+    from repro.serving.pool import Client, CrossbarPool
+
+    pool = CrossbarPool(
+        shards=1,
+        tile_elements=1 << 9,
+        seed=args.seed,
+        chaos_policy=ChaosPolicy(
+            transient_rate=0.1, latency_rate=0.0, corrupt_rate=0.0,
+            seed=args.seed,
+        ),
+    )
+    with pool:
+        client = Client(pool, tenant="demo")
+        result = client.call("Robert", relax_bits=8, dataset_bytes=1 << 20)
+        record = pool.traces.get(result.trace_id)
+    if record is None:
+        print(f"trace {result.trace_id!r} missing from the store")
+        return 1
+    print(format_timeline(record))
+    layers = {event.layer for event in record.events}
+    needed = {"frontend", "scheduler", "pool", "supervisor", "executor"}
+    missing = needed - layers
+    if missing:
+        print(f"TIMELINE INCOMPLETE: missing layers {sorted(missing)}")
+        return 1
+    print(
+        f"trace ok: {len(record.events)} events across "
+        f"{len(layers)} layers, terminal status {result.status!r}"
+    )
+    return 0
+
+
 def _cmd_workloads() -> str:
     lines = ["paper workloads (Table 1):"]
     for w in all_workloads():
@@ -483,6 +676,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_metrics(args)
     elif args.command == "serve":
         return _cmd_serve(args)
+    elif args.command == "slo":
+        return _cmd_slo(args)
+    elif args.command == "trace":
+        return _cmd_trace(args)
     elif args.command == "faults":
         from repro.resilience import campaign_table, run_fault_campaign
 

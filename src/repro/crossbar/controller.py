@@ -35,6 +35,7 @@ from repro.core.cost import Cost
 from repro.crossbar.block import BlockedCrossbar
 from repro.errors import CrossbarError
 from repro.observability.instruments import record_controller_command
+from repro.observability.tracing import current_trace
 
 __all__ = [
     "Command",
@@ -260,6 +261,19 @@ class MemoryController:
         start = len(self.results)
         for command in program:
             self.execute(command)
+        # One summary event per program, not one per command: command
+        # streams run to millions, which would instantly exhaust a trace's
+        # event budget and dominate its cost.
+        trace = current_trace()
+        if trace is not None and program:
+            opcodes: dict[str, int] = {}
+            for command in program:
+                opcodes[command.opcode] = opcodes.get(command.opcode, 0) + 1
+            trace.event(
+                "controller", "program",
+                commands=len(program),
+                opcodes=dict(sorted(opcodes.items())),
+            )
         return self.results[start:]
 
     def transcript(self) -> str:

@@ -94,6 +94,17 @@ class ObservabilityError(ReproError):
     histogram buckets."""
 
 
+class TracingError(ObservabilityError):
+    """Request tracing misuse: an invalid trace-store configuration
+    (non-positive capacity or event bound) or an unusable spill path."""
+
+
+class SLOError(ObservabilityError):
+    """An SLO policy or burn-rate evaluation is invalid: inconsistent
+    thresholds/windows, an out-of-range error budget, or an evaluation
+    over an empty point set."""
+
+
 class ServingError(ReproError):
     """The serving layer cannot process a request: the pool is closed, a
     request names an unknown workload, or the frontend received a payload

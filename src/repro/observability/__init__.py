@@ -1,17 +1,27 @@
-"""Observability: metrics registry, span profiling and telemetry export.
+"""Observability: metrics, spans, tracing, tail analytics and SLOs.
 
-The subsystem has four small parts:
+The subsystem's parts:
 
 - :mod:`repro.observability.registry` — labelled counters, gauges and
-  fixed-bucket histograms in a process-wide :class:`MetricsRegistry`;
+  fixed-bucket histograms (with per-bucket exemplars) in a process-wide
+  :class:`MetricsRegistry`;
 - :mod:`repro.observability.spans` — the :func:`span` context manager:
   hierarchical wall-clock profiling feeding both the registry and the
   Chrome trace writer from one instrumentation point;
-- :mod:`repro.observability.export` — Prometheus text exposition and
-  JSONL snapshot sink;
+- :mod:`repro.observability.tracing` — per-request :class:`TraceContext`
+  propagation across the serving stack, with a bounded
+  :class:`TraceStore` (JSONL spill) behind ``GET /trace/<id>``;
+- :mod:`repro.observability.sketch` — mergeable streaming quantile
+  sketches (:class:`QuantileSketch`, :class:`LatencyAnalytics`) for
+  p50/p95/p99/p999 tail reporting;
+- :mod:`repro.observability.slo` — :class:`SLOPolicy` objectives and
+  multi-window :class:`BurnRateEvaluator` verdicts (the ``healthz``
+  503-on-fast-burn signal);
+- :mod:`repro.observability.export` — Prometheus text exposition
+  (exemplar-annotated) and the rotating JSONL snapshot sink;
 - :mod:`repro.observability.instruments` — the domain metric families the
-  executor, supervisor, campaign, checkpoint, resilience and controller
-  layers emit into.
+  executor, supervisor, campaign, checkpoint, resilience, serving and
+  controller layers emit into.
 
 See ``docs/observability.md`` for naming conventions and usage.
 """
@@ -32,32 +42,66 @@ from repro.observability.registry import (
     exponential_buckets,
     set_default_registry,
 )
+from repro.observability.sketch import (
+    TAIL_QUANTILES,
+    LatencyAnalytics,
+    QuantileSketch,
+)
+from repro.observability.slo import BurnRateEvaluator, SLOPolicy, evaluate_points
 from repro.observability.spans import (
     SpanProfiler,
     SpanRecord,
     default_profiler,
     span,
 )
+from repro.observability.tracing import (
+    TraceContext,
+    TraceEvent,
+    TraceRecord,
+    TraceStore,
+    current_trace,
+    default_trace_store,
+    format_timeline,
+    set_default_trace_store,
+    trace_event,
+    use_trace,
+)
 
 __all__ = [
+    "BurnRateEvaluator",
     "Counter",
     "Gauge",
     "Histogram",
     "JsonlSnapshotSink",
+    "LatencyAnalytics",
     "MetricsRegistry",
+    "QuantileSketch",
+    "SLOPolicy",
     "SpanProfiler",
     "SpanRecord",
+    "TraceContext",
+    "TraceEvent",
+    "TraceRecord",
+    "TraceStore",
     "DEFAULT_ENERGY_BUCKETS",
     "DEFAULT_LATENCY_BUCKETS",
+    "TAIL_QUANTILES",
     "active_registry",
+    "current_trace",
     "default_profiler",
     "default_registry",
+    "default_trace_store",
     "disable",
     "enable",
     "enabled",
+    "evaluate_points",
     "exponential_buckets",
+    "format_timeline",
     "set_default_registry",
+    "set_default_trace_store",
     "snapshot",
     "span",
     "to_prometheus",
+    "trace_event",
+    "use_trace",
 ]

@@ -20,6 +20,7 @@ tests produce deterministic snapshots.
 from __future__ import annotations
 
 import json
+import os
 
 from repro.errors import ObservabilityError
 from repro.observability.registry import Counter, Gauge, Histogram, MetricsRegistry
@@ -61,6 +62,16 @@ def _bound_text(bound: float) -> str:
     return _fmt(bound) if bound == int(bound) else f"{bound:g}"
 
 
+def _exemplar_text(exemplar: tuple[float, dict] | None) -> str:
+    """OpenMetrics-style exemplar suffix (``# {labels} value``); empty
+    when the bucket holds none, so untraced output stays byte-identical
+    to the pre-exemplar exposition."""
+    if exemplar is None:
+        return ""
+    value, labels = exemplar
+    return f" # {_labels_text(labels)} {_fmt(value)}"
+
+
 def to_prometheus(registry: MetricsRegistry) -> str:
     """The whole registry as Prometheus text exposition (0.0.4)."""
     lines: list[str] = []
@@ -70,11 +81,20 @@ def to_prometheus(registry: MetricsRegistry) -> str:
         if isinstance(family, Histogram):
             for labels, child in family.samples():
                 cumulative = child.cumulative()
-                for bound, count in zip(family.buckets, cumulative):
+                exemplars = child.exemplars or {}
+                for index, (bound, count) in enumerate(
+                    zip(family.buckets, cumulative)
+                ):
                     le = _labels_text(labels, {"le": _bound_text(bound)})
-                    lines.append(f"{family.name}_bucket{le} {count}")
+                    lines.append(
+                        f"{family.name}_bucket{le} {count}"
+                        + _exemplar_text(exemplars.get(index))
+                    )
                 inf = _labels_text(labels, {"le": "+Inf"})
-                lines.append(f"{family.name}_bucket{inf} {cumulative[-1]}")
+                lines.append(
+                    f"{family.name}_bucket{inf} {cumulative[-1]}"
+                    + _exemplar_text(exemplars.get(len(family.buckets)))
+                )
                 plain = _labels_text(labels)
                 lines.append(f"{family.name}_sum{plain} {_fmt(child.sum)}")
                 lines.append(f"{family.name}_count{plain} {child.count}")
@@ -121,16 +141,62 @@ class JsonlSnapshotSink:
     The append-only shape mirrors the campaign checkpoint journal: crash
     mid-write and the worst case is one torn final line, which any tolerant
     JSONL reader skips.
+
+    ``max_bytes`` bounds the file: once a write pushes it past the limit
+    the file is rotated (``path`` → ``path.1`` → ... → ``path.<keep>``,
+    oldest discarded) and a fresh ``path`` is opened — a long campaign's
+    telemetry occupies at most ``(keep + 1) * max_bytes`` plus one
+    snapshot of slack, because rotation happens *after* the write that
+    crosses the boundary (a snapshot is never split across files).
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(
+        self,
+        path: str,
+        max_bytes: int | None = None,
+        keep: int = 3,
+    ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ObservabilityError(
+                f"max_bytes must be positive: {max_bytes}"
+            )
+        if keep < 0:
+            raise ObservabilityError(f"keep must be non-negative: {keep}")
         self.path = path
+        self.max_bytes = max_bytes
+        self.keep = keep
+        self.rotations = 0
+        self._handle = self._open()
+
+    def _open(self):
         try:
-            self._handle = open(path, "a", encoding="utf-8")
+            return open(self.path, "a", encoding="utf-8")
         except OSError as exc:
             raise ObservabilityError(
-                f"cannot open snapshot sink {path!r}: {exc}"
+                f"cannot open snapshot sink {self.path!r}: {exc}"
             ) from exc
+
+    def _rotate(self) -> None:
+        self._handle.close()
+        try:
+            if self.keep == 0:
+                os.remove(self.path)
+            else:
+                oldest = f"{self.path}.{self.keep}"
+                if os.path.exists(oldest):
+                    os.remove(oldest)
+                for index in range(self.keep - 1, 0, -1):
+                    src = f"{self.path}.{index}"
+                    if os.path.exists(src):
+                        os.replace(src, f"{self.path}.{index + 1}")
+                os.replace(self.path, f"{self.path}.1")
+        except OSError as exc:
+            self._handle = None
+            raise ObservabilityError(
+                f"cannot rotate snapshot sink {self.path!r}: {exc}"
+            ) from exc
+        self.rotations += 1
+        self._handle = self._open()
 
     def write(self, registry: MetricsRegistry, **extra) -> dict:
         """Append one snapshot (plus caller context fields); returns it."""
@@ -142,6 +208,11 @@ class JsonlSnapshotSink:
             json.dumps(record, separators=(",", ":"), sort_keys=True) + "\n"
         )
         self._handle.flush()
+        if (
+            self.max_bytes is not None
+            and self._handle.tell() >= self.max_bytes
+        ):
+            self._rotate()
         return record
 
     def close(self) -> None:

@@ -39,6 +39,7 @@ __all__ = [
     "record_batch",
     "record_queue_wait",
     "record_reroute",
+    "record_request_duration",
     "record_residue_mismatch",
     "record_resilience_degraded",
     "record_resilience_repair",
@@ -46,6 +47,7 @@ __all__ = [
     "record_served",
     "record_shard_health",
     "record_supervision_event",
+    "set_build_info",
     "set_queue_depth",
 ]
 
@@ -216,6 +218,18 @@ class _Instruments:
         self.serving_reroutes = registry.counter(
             "repro_serving_reroutes_total",
             "Requests pushed back to the queue off an unhealthy shard.",
+        )
+        self.request_duration = registry.histogram(
+            "repro_request_duration_seconds",
+            "End-to-end request latency (admission to completion); buckets "
+            "carry trace-id exemplars.",
+            (),
+            DEFAULT_LATENCY_BUCKETS,
+        )
+        self.build_info = registry.gauge(
+            "repro_build_info",
+            "Constant 1; labels identify the build serving this scrape.",
+            ("version", "python", "config_hash"),
         )
         # -- crossbar controller ---------------------------------------------
         self.controller_commands = registry.counter(
@@ -429,6 +443,58 @@ def record_reroute(requests: int) -> None:
     inst = _instruments()
     if inst is not None and requests:
         inst.serving_reroutes.inc(requests)
+
+
+def record_request_duration(seconds: float, trace_id: str | None = None) -> None:
+    """Observe one end-to-end request latency; ``trace_id`` becomes the
+    bucket's exemplar, linking the aggregate histogram back to a concrete
+    ``GET /trace/<id>`` timeline."""
+    inst = _instruments()
+    if inst is None:
+        return
+    exemplar = {"trace_id": trace_id} if trace_id else None
+    inst.request_duration.observe(seconds, exemplar)
+
+
+# -- build info ---------------------------------------------------------------
+
+
+def set_build_info(
+    version: str | None = None,
+    python: str | None = None,
+    config_hash: str | None = None,
+) -> None:
+    """Publish the constant ``repro_build_info 1`` gauge.
+
+    Defaults are resolved lazily (package version, interpreter version,
+    a short hash of the default APIM config) so a scrape is attributable
+    to the exact build that produced it.  Imports happen inside the
+    function: ``repro/__init__`` imports the runtime which imports this
+    module, so importing ``repro`` at module level would cycle.
+    """
+    inst = _instruments()
+    if inst is None:
+        return
+    if version is None:
+        from repro import __version__
+
+        version = __version__
+    if python is None:
+        import platform
+
+        python = platform.python_version()
+    if config_hash is None:
+        import hashlib
+
+        from repro.core.config import default_config
+
+        digest = hashlib.sha256(
+            repr(default_config()).encode("utf-8")
+        ).hexdigest()
+        config_hash = digest[:12]
+    inst.build_info.labels(
+        version=version, python=python, config_hash=config_hash
+    ).set(1)
 
 
 # -- crossbar controller ------------------------------------------------------

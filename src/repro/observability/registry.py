@@ -229,21 +229,29 @@ class Gauge(_Family):
 
 
 class _HistogramChild:
-    __slots__ = ("bounds", "counts", "sum", "_lock")
+    __slots__ = ("bounds", "counts", "sum", "exemplars", "_lock")
 
     def __init__(self, bounds: tuple[float, ...]) -> None:
         self.bounds = bounds
         self.counts = [0] * (len(bounds) + 1)  # last slot is +Inf
         self.sum = 0.0
+        # bucket index -> (value, exemplar labels); latest wins.  Lazy so
+        # untraced histograms pay nothing.
+        self.exemplars: dict[int, tuple[float, dict]] | None = None
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: dict | None = None) -> None:
         value = float(value)
         if math.isnan(value):
             raise ObservabilityError("cannot observe NaN")
         with self._lock:
-            self.counts[bisect_left(self.bounds, value)] += 1
+            index = bisect_left(self.bounds, value)
+            self.counts[index] += 1
             self.sum += value
+            if exemplar:
+                if self.exemplars is None:
+                    self.exemplars = {}
+                self.exemplars[index] = (value, dict(exemplar))
 
     @property
     def count(self) -> int:
@@ -288,9 +296,15 @@ class Histogram(_Family):
     def _make_child(self) -> _HistogramChild:
         return _HistogramChild(self.buckets)
 
-    def observe(self, value: float) -> None:
-        """Observe into the unlabelled series."""
-        self._default_child.observe(value)
+    def observe(self, value: float, exemplar: dict | None = None) -> None:
+        """Observe into the unlabelled series.
+
+        ``exemplar`` — a small label dict, canonically
+        ``{"trace_id": ...}`` — is attached to the bucket the value
+        lands in (latest wins) and rendered in the exposition, linking
+        the aggregate distribution back to a concrete traced request.
+        """
+        self._default_child.observe(value, exemplar)
 
     def signature(self) -> tuple:
         return (self.kind, self.labelnames, self.buckets)

@@ -1,0 +1,256 @@
+"""Streaming quantile sketches for tail-latency analytics.
+
+Fixed-bucket histograms (:mod:`repro.observability.registry`) answer
+"how many requests landed between 4 and 16 ms?" — good enough for
+dashboards, but tail reporting (p99, p999) degenerates into bucket
+interpolation: the answer is whatever bound the bucket grid happened to
+place near the tail.  :class:`QuantileSketch` replaces that guess with a
+mergeable, bounded-memory summary whose quantile estimates carry a
+*self-certified* rank-error bound.
+
+The structure is a deterministic KLL-style compactor: level ``l`` holds
+raw values of weight ``2**l`` in a bounded buffer; a full buffer is
+sorted and every other element promoted to the next level with doubled
+weight (the surviving offset alternates per compaction, so the
+systematic rank bias cancels).  Each compaction of level ``l`` moves any
+query's estimated rank by at most ``2**l``, and the sketch accumulates
+exactly that into :meth:`rank_error`: the reported quantiles are
+guaranteed within ``rank_error`` ranks of the truth, and the property
+tests assert against the sketch's own certificate rather than a folklore
+constant.  Until the first compaction the sketch is exact.
+
+Merging two sketches concatenates buffers level-by-level and recompacts;
+the error certificates add.  That makes per-shard sketches cheap to keep
+and fold into a pool-wide tail view on demand.
+
+:class:`LatencyAnalytics` is the serving-layer convenience: one named
+sketch per pipeline layer (queue wait, service, end-to-end), thread-safe,
+with a ``summary()`` rendering p50/p95/p99/p999 for ``/stats`` and the
+``repro slo`` CLI.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+from repro.errors import ObservabilityError
+
+__all__ = ["LatencyAnalytics", "QuantileSketch", "TAIL_QUANTILES"]
+
+#: The quantiles every summary reports, tail-first naming.
+TAIL_QUANTILES = {"p50": 0.50, "p95": 0.95, "p99": 0.99, "p999": 0.999}
+
+
+class QuantileSketch:
+    """A mergeable, bounded-memory quantile summary (see module doc).
+
+    ``capacity`` bounds each level's buffer; total memory is
+    ``O(capacity * log(n / capacity))`` values.  Estimates are exact while
+    fewer than ``capacity`` values have been observed.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 8:
+            raise ObservabilityError(
+                f"sketch capacity must be at least 8: {capacity}"
+            )
+        self.capacity = int(capacity)
+        self._levels: list[list[float]] = [[]]
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._alternate = 0
+        self._rank_error = 0  # absolute ranks, certified upper bound
+        self._lock = threading.Lock()
+
+    # -- ingest ---------------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        """Ingest one value (weight 1)."""
+        value = float(value)
+        if math.isnan(value):
+            raise ObservabilityError("cannot observe NaN")
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            self._levels[0].append(value)
+            if len(self._levels[0]) > self.capacity:
+                self._compact(0)
+
+    def _compact(self, level: int) -> None:
+        """Promote half of a full level, doubling weights (lock held).
+
+        Sorted-alternate promotion keeps any rank estimate within
+        ``2**level`` of its pre-compaction value; that bound is added to
+        the error certificate.
+        """
+        buf = sorted(self._levels[level])
+        kept: list[float] = []
+        if len(buf) % 2:
+            kept.append(buf.pop())  # odd one out stays at this level
+        offset = self._alternate
+        self._alternate ^= 1
+        promoted = buf[offset::2]
+        self._levels[level] = kept
+        if level + 1 >= len(self._levels):
+            self._levels.append([])
+        self._levels[level + 1].extend(promoted)
+        self._rank_error += 1 << level
+        if len(self._levels[level + 1]) > self.capacity:
+            self._compact(level + 1)
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold ``other`` into this sketch (returns ``self``).
+
+        Equivalent — within the summed error certificates — to having
+        ingested the concatenation of both observation streams.
+        """
+        if other is self:
+            raise ObservabilityError("cannot merge a sketch with itself")
+        with other._lock:
+            other_levels = [list(buf) for buf in other._levels]
+            other_stats = (
+                other._count, other._sum, other._min, other._max,
+                other._rank_error,
+            )
+        with self._lock:
+            count, total, lo, hi, err = other_stats
+            self._count += count
+            self._sum += total
+            self._min = min(self._min, lo)
+            self._max = max(self._max, hi)
+            self._rank_error += err
+            for level, buf in enumerate(other_levels):
+                while level >= len(self._levels):
+                    self._levels.append([])
+                self._levels[level].extend(buf)
+            for level in range(len(self._levels)):
+                if len(self._levels[level]) > self.capacity:
+                    self._compact(level)
+        return self
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Values observed (merges included)."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else math.nan
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else math.nan
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else math.nan
+
+    def rank_error(self) -> int:
+        """Certified bound, in absolute ranks, on any quantile estimate.
+
+        Zero while the sketch is still exact (no compaction has run);
+        grows by ``2**level`` per level-``level`` compaction and by the
+        other side's certificate on merge.
+        """
+        return self._rank_error
+
+    def rank_error_fraction(self) -> float:
+        """The certificate as a fraction of the observed count."""
+        return self._rank_error / self._count if self._count else 0.0
+
+    def _weighted(self) -> list[tuple[float, int]]:
+        items: list[tuple[float, int]] = []
+        for level, buf in enumerate(self._levels):
+            weight = 1 << level
+            items.extend((value, weight) for value in buf)
+        items.sort(key=lambda pair: pair[0])
+        return items
+
+    def quantile(self, q: float) -> float:
+        """The value whose rank is (approximately) ``q * count``.
+
+        Returns an actually-observed value — never an interpolation — so
+        quantiles are monotone in ``q`` and ``quantile(0)`` /
+        ``quantile(1)`` are the exact min/max.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile must be in [0, 1]: {q}")
+        with self._lock:
+            if self._count == 0:
+                return math.nan
+            if q == 0.0:
+                return self._min
+            if q == 1.0:
+                return self._max
+            target = q * self._count
+            cumulative = 0
+            items = self._weighted()
+            for value, weight in items:
+                cumulative += weight
+                if cumulative >= target:
+                    return value
+            return items[-1][0]
+
+    def quantiles(
+        self, named: dict[str, float] | None = None
+    ) -> dict[str, float]:
+        """A dict of named quantiles (defaults to :data:`TAIL_QUANTILES`)."""
+        named = named or TAIL_QUANTILES
+        return {name: self.quantile(q) for name, q in named.items()}
+
+    def summary(self) -> dict:
+        """JSON-able roll-up: count, mean, extremes, tail quantiles and
+        the error certificate (so consumers can judge p999 credibility)."""
+        out: dict = {
+            "count": self._count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "rank_error": self._rank_error,
+        }
+        out.update(self.quantiles())
+        return out
+
+
+class LatencyAnalytics:
+    """Named per-layer sketches: the serving stack's tail-latency ledger."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        self.capacity = capacity
+        self._sketches: dict[str, QuantileSketch] = {}
+        self._lock = threading.Lock()
+
+    def sketch(self, layer: str) -> QuantileSketch:
+        """The sketch for one layer (created on first use)."""
+        sketch = self._sketches.get(layer)
+        if sketch is None:
+            with self._lock:
+                sketch = self._sketches.setdefault(
+                    layer, QuantileSketch(self.capacity)
+                )
+        return sketch
+
+    def observe(self, layer: str, seconds: float) -> None:
+        """Record one latency sample against a layer."""
+        self.sketch(layer).observe(seconds)
+
+    def layers(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._sketches))
+
+    def summary(self) -> dict:
+        """``{layer: sketch summary}`` for ``/stats`` and the CLI."""
+        return {layer: self.sketch(layer).summary() for layer in self.layers()}

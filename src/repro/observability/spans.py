@@ -127,13 +127,28 @@ class SpanProfiler:
             yield record
         finally:
             record.end_s = self.clock()
-            stack.pop()
-            if stack:
-                stack[-1].children.append(record)
-            else:
-                with self._lock:
-                    self._roots.append(record)
-            self._publish(record)
+            # Remove *this* record by identity rather than popping blindly:
+            # a span held open across a generator that is closed out of
+            # order (or abandoned and finalised later by GC) would
+            # otherwise pop someone else's frame and mis-parent every
+            # span recorded after it.  Its parent is whatever sat below
+            # it on the stack at close time.
+            try:
+                index = next(
+                    i for i in range(len(stack) - 1, -1, -1)
+                    if stack[i] is record
+                )
+            except StopIteration:  # already removed; never double-publish
+                index = None
+            if index is not None:
+                del stack[index]
+                parent = stack[index - 1] if index > 0 else None
+                if parent is not None:
+                    parent.children.append(record)
+                else:
+                    with self._lock:
+                        self._roots.append(record)
+                self._publish(record)
 
     def _publish(self, record: SpanRecord) -> None:
         registry = self._resolve_registry()

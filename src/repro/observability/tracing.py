@@ -1,0 +1,446 @@
+"""End-to-end request tracing across the serving stack.
+
+A request admitted through :meth:`repro.serving.pool.CrossbarPool.submit`
+(or the HTTP frontend) gets a :class:`TraceContext` — a trace id, a span
+id, and a baggage dict — and every layer it crosses appends structured
+:class:`TraceEvent` records: queue enter/exit, batch coalescing links,
+supervision attempts and retries, degradation rungs, executor runs,
+controller command batches.  The result answers the question aggregate
+metrics cannot: "why was *this* request slow / degraded / rerouted?"
+
+Propagation is explicit at layer boundaries — the context rides on the
+:class:`~repro.serving.scheduler.ServeRequest` and is handed to
+:func:`~repro.runtime.campaign.run_point` — and ambient below them: deep
+layers (supervisor, executor, controller) emit through
+:func:`trace_event`, which resolves the thread's current context
+installed by :func:`use_trace`.  A layer with no active trace pays one
+thread-local attribute read and nothing else, which is what keeps the
+tracing-enabled arm of ``bench_observability_overhead`` under its 5%
+ceiling.
+
+Storage is a bounded in-memory :class:`TraceStore` (LRU by admission
+order) with optional JSONL spill: evicted traces are appended to a spill
+file instead of vanishing, so long campaigns keep a durable record while
+the process keeps a flat memory profile.  Each trace also bounds its own
+event list — a pathological request cannot grow one trace without limit;
+overflow is counted, not silently dropped.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.errors import TracingError
+
+__all__ = [
+    "TraceContext",
+    "TraceEvent",
+    "TraceRecord",
+    "TraceStore",
+    "current_trace",
+    "default_trace_store",
+    "format_timeline",
+    "set_default_trace_store",
+    "trace_event",
+    "use_trace",
+]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured hop in a request's journey."""
+
+    ts: float     #: store-clock timestamp (seconds)
+    layer: str    #: frontend / scheduler / pool / supervisor / executor / ...
+    kind: str     #: queue_enter, batch_join, attempt, retry, degrade, ...
+    span_id: str  #: the span the event belongs to
+    detail: str = ""
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        out = {
+            "ts": self.ts,
+            "layer": self.layer,
+            "kind": self.kind,
+            "span_id": self.span_id,
+        }
+        if self.detail:
+            out["detail"] = self.detail
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+
+@dataclass
+class TraceRecord:
+    """Everything the store holds for one trace."""
+
+    trace_id: str
+    created_ts: float
+    baggage: dict = field(default_factory=dict)
+    events: list[TraceEvent] = field(default_factory=list)
+    dropped_events: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "created_ts": self.created_ts,
+            "baggage": dict(self.baggage),
+            "events": [event.to_dict() for event in self.events],
+            "dropped_events": self.dropped_events,
+        }
+
+
+class TraceStore:
+    """Bounded trace storage with LRU eviction and JSONL spill.
+
+    ``capacity`` bounds resident traces; the oldest is evicted first and,
+    when ``spill_path`` is set, appended to that file as one JSON line
+    (the same tolerant-reader shape as the checkpoint journal and the
+    metrics snapshot sink).  ``max_events`` bounds each trace's event
+    list.  The clock is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        max_events: int = 512,
+        spill_path: str | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        id_prefix: str | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise TracingError(f"store capacity must be positive: {capacity}")
+        if max_events < 1:
+            raise TracingError(f"max_events must be positive: {max_events}")
+        self.capacity = capacity
+        self.max_events = max_events
+        self.spill_path = spill_path
+        self.clock = clock
+        if id_prefix is None:
+            # Random prefix so ids from distinct stores (processes) do not
+            # collide in shared spill files; pass id_prefix for determinism.
+            import uuid
+
+            id_prefix = uuid.uuid4().hex[:8]
+        self._id_prefix = id_prefix
+        self._seq = itertools.count()
+        self._records: "OrderedDict[str, TraceRecord]" = OrderedDict()
+        self._aliases: dict[str, str] = {}  # request id -> trace id
+        self._lock = threading.Lock()
+        self.evicted = 0
+        self.spilled = 0
+
+    # -- creation -------------------------------------------------------------
+
+    def _next_span_id(self) -> str:
+        return f"s{next(self._seq):06x}"
+
+    def new_trace(self, **baggage) -> "TraceContext":
+        """Open a trace; returns its root :class:`TraceContext`."""
+        with self._lock:
+            trace_id = f"{self._id_prefix}-{next(self._seq):08x}"
+            record = TraceRecord(
+                trace_id=trace_id,
+                created_ts=self.clock(),
+                baggage=dict(baggage),
+            )
+            self._records[trace_id] = record
+            while len(self._records) > self.capacity:
+                evicted_id, evicted = self._records.popitem(last=False)
+                self.evicted += 1
+                self._aliases = {
+                    alias: tid
+                    for alias, tid in self._aliases.items()
+                    if tid != evicted_id
+                }
+                self._spill(evicted)
+        return TraceContext(
+            trace_id=trace_id,
+            span_id=self._next_span_id(),
+            parent_id=None,
+            baggage=dict(baggage),
+            store=self,
+        )
+
+    def _spill(self, record: TraceRecord) -> None:
+        if self.spill_path is None:
+            return
+        try:
+            with open(self.spill_path, "a", encoding="utf-8") as handle:
+                handle.write(
+                    json.dumps(
+                        record.to_dict(), separators=(",", ":"),
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+            self.spilled += 1
+        except OSError as exc:
+            raise TracingError(
+                f"cannot spill trace to {self.spill_path!r}: {exc}"
+            ) from exc
+
+    def spill_all(self) -> int:
+        """Spill every resident trace (end-of-run flush); returns count."""
+        with self._lock:
+            records = list(self._records.values())
+        for record in records:
+            self._spill(record)
+        return len(records)
+
+    # -- writes ---------------------------------------------------------------
+
+    def append(
+        self,
+        trace_id: str,
+        layer: str,
+        kind: str,
+        span_id: str,
+        detail: str = "",
+        **attrs,
+    ) -> None:
+        """Append one event (no-op for evicted/unknown traces)."""
+        with self._lock:
+            record = self._records.get(trace_id)
+            if record is None:
+                return
+            if len(record.events) >= self.max_events:
+                record.dropped_events += 1
+                return
+            record.events.append(
+                TraceEvent(
+                    ts=self.clock(),
+                    layer=layer,
+                    kind=kind,
+                    span_id=span_id,
+                    detail=detail,
+                    attrs=attrs,
+                )
+            )
+
+    def bind(self, alias: str, trace_id: str) -> None:
+        """Also make the trace findable by ``alias`` (the request id)."""
+        with self._lock:
+            self._aliases[alias] = trace_id
+
+    # -- reads ----------------------------------------------------------------
+
+    def get(self, trace_or_request_id: str) -> TraceRecord | None:
+        """Look a trace up by trace id or bound request id."""
+        with self._lock:
+            trace_id = self._aliases.get(
+                trace_or_request_id, trace_or_request_id
+            )
+            return self._records.get(trace_id)
+
+    def trace_id_for(self, request_id: str) -> str | None:
+        with self._lock:
+            return self._aliases.get(request_id)
+
+    def timeline(self, trace_or_request_id: str) -> dict | None:
+        """The JSON-able timeline served by ``GET /trace/<id>``."""
+        record = self.get(trace_or_request_id)
+        return None if record is None else record.to_dict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+@dataclass
+class TraceContext:
+    """The propagated identity of one traced request.
+
+    Carries the trace id, the current span id, the parent span (None at
+    the root) and a baggage dict (tenant, workload, ...).  The context is
+    what crosses layer boundaries; events go to the owning store.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    baggage: dict
+    store: TraceStore
+
+    def event(self, layer: str, kind: str, detail: str = "", **attrs) -> None:
+        """Append one event under this context's span."""
+        self.store.append(
+            self.trace_id, layer, kind, self.span_id, detail, **attrs
+        )
+
+    def child(self, layer: str) -> "TraceContext":
+        """A sub-span context (new span id, this span as parent); records
+        a ``span_start`` event so the timeline shows the handoff."""
+        ctx = TraceContext(
+            trace_id=self.trace_id,
+            span_id=self.store._next_span_id(),
+            parent_id=self.span_id,
+            baggage=self.baggage,
+            store=self.store,
+        )
+        self.store.append(
+            ctx.trace_id, layer, "span_start", ctx.span_id,
+            parent=self.span_id,
+        )
+        return ctx
+
+
+# -- ambient propagation ------------------------------------------------------
+
+_local = threading.local()
+_default_store: TraceStore | None = None
+_default_lock = threading.Lock()
+
+
+def default_trace_store() -> TraceStore:
+    """The process-wide store (created on first use)."""
+    global _default_store
+    with _default_lock:
+        if _default_store is None:
+            _default_store = TraceStore()
+        return _default_store
+
+
+def set_default_trace_store(store: TraceStore) -> TraceStore | None:
+    """Swap the process-wide store (returns the previous one)."""
+    global _default_store
+    with _default_lock:
+        previous, _default_store = _default_store, store
+    return previous
+
+
+def current_trace() -> TraceContext | None:
+    """The context installed on this thread, if any."""
+    return getattr(_local, "trace", None)
+
+
+class _TraceScope:
+    """Re-entrant installer for the thread's current context."""
+
+    __slots__ = ("ctx", "_previous")
+
+    def __init__(self, ctx: TraceContext | None) -> None:
+        self.ctx = ctx
+        self._previous: TraceContext | None = None
+
+    def __enter__(self) -> TraceContext | None:
+        self._previous = getattr(_local, "trace", None)
+        _local.trace = self.ctx
+        return self.ctx
+
+    def __exit__(self, *exc_info) -> None:
+        _local.trace = self._previous
+
+
+def use_trace(ctx: TraceContext | None) -> _TraceScope:
+    """Install ``ctx`` as the thread's current trace for a ``with`` block.
+
+    ``None`` is accepted (and installs nothing-traced), so call sites can
+    pass an optional context without branching.
+    """
+    return _TraceScope(ctx)
+
+
+def trace_event(layer: str, kind: str, detail: str = "", **attrs) -> None:
+    """Append an event to the thread's current trace; no-op without one.
+
+    The deep layers' single instrumentation call: cost is one
+    thread-local read when no trace is active.
+    """
+    ctx = getattr(_local, "trace", None)
+    if ctx is not None:
+        ctx.event(layer, kind, detail, **attrs)
+
+
+# -- rendering ----------------------------------------------------------------
+
+def _iter_rows(record: TraceRecord) -> Iterator[tuple[float, str, str, str]]:
+    start = record.events[0].ts if record.events else record.created_ts
+    for event in record.events:
+        extras = " ".join(
+            f"{key}={value}" for key, value in sorted(event.attrs.items())
+        )
+        detail = " ".join(part for part in (event.detail, extras) if part)
+        yield (event.ts - start, event.layer, event.kind, detail)
+
+
+def format_timeline(record: TraceRecord | dict) -> str:
+    """A human-readable timeline (the ``repro trace`` rendering)."""
+    if isinstance(record, dict):
+        record = TraceRecord(
+            trace_id=record["trace_id"],
+            created_ts=record.get("created_ts", 0.0),
+            baggage=record.get("baggage", {}),
+            events=[
+                TraceEvent(
+                    ts=e["ts"],
+                    layer=e["layer"],
+                    kind=e["kind"],
+                    span_id=e.get("span_id", ""),
+                    detail=e.get("detail", ""),
+                    attrs=e.get("attrs", {}),
+                )
+                for e in record.get("events", [])
+            ],
+            dropped_events=record.get("dropped_events", 0),
+        )
+    baggage = " ".join(
+        f"{key}={value}" for key, value in sorted(record.baggage.items())
+    )
+    lines = [f"trace {record.trace_id}" + (f"  [{baggage}]" if baggage else "")]
+    lines.append(f"{'+ms':>10}  {'layer':<10} {'event':<18} detail")
+    for offset, layer, kind, detail in _iter_rows(record):
+        lines.append(
+            f"{offset * 1e3:>10.3f}  {layer:<10} {kind:<18} {detail}"
+        )
+    if record.dropped_events:
+        lines.append(
+            f"... {record.dropped_events} event(s) dropped (trace at "
+            "max_events)"
+        )
+    return "\n".join(lines)
+
+
+def load_spilled(path: str) -> list[TraceRecord]:
+    """Read a spill file back (tolerant of a torn final line)."""
+    records: list[TraceRecord] = []
+    try:
+        handle = open(path, encoding="utf-8")
+    except OSError as exc:
+        raise TracingError(f"cannot read spill file {path!r}: {exc}") from exc
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError:
+                continue  # torn tail
+            records.append(
+                TraceRecord(
+                    trace_id=payload["trace_id"],
+                    created_ts=payload.get("created_ts", 0.0),
+                    baggage=payload.get("baggage", {}),
+                    events=[
+                        TraceEvent(
+                            ts=e["ts"],
+                            layer=e["layer"],
+                            kind=e["kind"],
+                            span_id=e.get("span_id", ""),
+                            detail=e.get("detail", ""),
+                            attrs=e.get("attrs", {}),
+                        )
+                        for e in payload.get("events", [])
+                    ],
+                    dropped_events=payload.get("dropped_events", 0),
+                )
+            )
+    return records

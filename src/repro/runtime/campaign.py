@@ -38,6 +38,7 @@ from repro.core.config import APIMConfig
 from repro.errors import CircuitOpenError, ConfigurationError, ReproError
 from repro.observability import span
 from repro.observability.instruments import record_campaign_point
+from repro.observability.tracing import use_trace
 from repro.quality.qos import QoSPolicy
 from repro.runtime.checkpoint import CheckpointJournal, load_journal
 from repro.runtime.comparison import ComparisonHarness
@@ -214,6 +215,7 @@ def run_point(
     max_relax_bits: int = 32,
     degradation_step: int = 4,
     key_prefix: str = "",
+    trace=None,
 ) -> CampaignPoint:
     """One grid point, end to end: supervise, degrade, fall back.
 
@@ -223,10 +225,40 @@ def run_point(
     returns a :class:`CampaignPoint` in one of :data:`TERMINAL_STATUSES`,
     never raises a lost point.  ``key_prefix`` namespaces the supervision
     key (retry jitter, breaker state) per caller, e.g. per shard.
+
+    ``trace`` (a :class:`~repro.observability.tracing.TraceContext`) is
+    installed as the thread's ambient context for the whole rescue
+    ladder, so supervisor attempts, executor runs and controller commands
+    land on the owning request's timeline; degradation rungs and fallback
+    transitions are recorded explicitly.
     """
+    with use_trace(trace):
+        return _run_point_traced(
+            workload, level, dataset_bytes, harness, supervisor, chaos,
+            qos, max_relax_bits, degradation_step, key_prefix, trace,
+        )
+
+
+def _run_point_traced(
+    workload: Workload,
+    level: int,
+    dataset_bytes: float,
+    harness,
+    supervisor: "Supervisor | None",
+    chaos: "ChaosInjector | None",
+    qos: QoSPolicy | None,
+    max_relax_bits: int,
+    degradation_step: int,
+    key_prefix: str,
+    trace,
+) -> CampaignPoint:
     qos = qos or QoSPolicy()
     key = key_prefix + point_key(workload.name, level, int(dataset_bytes))
     calls = 0
+
+    def tevent(kind: str, detail: str = "", **attrs) -> None:
+        if trace is not None:
+            trace.event("campaign", kind, detail, **attrs)
 
     def priced(relax: int):
         def call():
@@ -259,14 +291,18 @@ def run_point(
     except CircuitOpenError:
         # The breaker says this (workload, config) is sick: skip the
         # ladder (more of the same engine) and go straight to fallback.
-        pass
-    except ReproError:
+        tevent("breaker_open", "skipping degradation ladder", key=key)
+    except ReproError as exc:
         # Retries/deadline exhausted: degrade up the relax ladder.  Each
         # rung gets its own supervised budget under a distinct key so the
         # original point's breaker state does not doom the rescue.
+        tevent(
+            "rescue", f"{type(exc).__name__}: {exc}", requested_m=level,
+        )
         for rung in qos.degradation_rungs(level, max_relax_bits,
                                           degradation_step):
             try:
+                tevent("degrade_rung", rung_m=rung)
                 comparison, _ = supervisor.supervise(
                     f"{key}/degrade-m{rung}", priced(rung)
                 )
@@ -282,11 +318,13 @@ def run_point(
     # simulated accelerator.
     try:
         calls += 1
+        tevent("cpu_fallback")
         comparison = harness.cpu_fallback(workload, dataset_bytes)
         return _point_from_comparison(
             comparison, level, "fallback", calls, effective_relax_bits=-1
         )
     except ReproError:
+        tevent("failed", "cpu fallback raised; point recorded as failed")
         return _failed_point(
             workload.name, level, int(dataset_bytes), calls
         )

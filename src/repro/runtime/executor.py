@@ -22,6 +22,7 @@ from repro.core.engine import APIMEngine
 from repro.errors import KernelExecutionError, ReproError, WorkloadError
 from repro.observability import span
 from repro.observability.instruments import record_execution
+from repro.observability.tracing import trace_event
 from repro.quality.metrics import quality_loss_percent
 from repro.quality.qos import QoSPolicy
 from repro.workloads.base import Workload, WorkloadData
@@ -113,13 +114,25 @@ class APIMExecutor:
             engine = resilience.make_engine(self.config, spec)
         else:
             engine = APIMEngine(self.config, spec)
+        trace_event(
+            "executor", "run", workload=workload.name,
+            relax_bits=spec.relax_bits, elements=data.elements,
+        )
         try:
             with span("executor.kernel", workload=workload.name):
                 output = workload.run(engine, data)
             reference = workload.reference(data)
-        except ReproError:
+        except ReproError as exc:
+            trace_event(
+                "executor", "kernel_error", f"{type(exc).__name__}: {exc}",
+                workload=workload.name,
+            )
             raise
         except Exception as exc:  # normalise raw kernel escapes
+            trace_event(
+                "executor", "kernel_error", f"{type(exc).__name__}: {exc}",
+                workload=workload.name,
+            )
             raise KernelExecutionError(
                 f"{workload.name}: kernel raised "
                 f"{type(exc).__name__}: {exc}"
@@ -162,4 +175,8 @@ class APIMExecutor:
             attempts=retries + 1,
         )
         record_execution(result)
+        trace_event(
+            "executor", "done", status=status,
+            sim_time_s=result.time, attempts=result.attempts,
+        )
         return result

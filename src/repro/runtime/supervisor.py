@@ -39,6 +39,7 @@ from repro.observability.instruments import (
     record_breaker_transition,
     record_supervision_event,
 )
+from repro.observability.tracing import trace_event
 from repro.workloads.datagen import seeded_stream
 
 __all__ = [
@@ -225,6 +226,7 @@ class Supervisor:
 
     def _emit(self, kind: str, key: str, detail: str) -> None:
         record_supervision_event(kind)
+        trace_event("supervisor", kind, detail, key=key)
         if self.observer is not None:
             self.observer(kind, key, self.clock(), detail)
 

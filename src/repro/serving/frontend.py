@@ -11,8 +11,11 @@ Endpoints (all JSON unless noted):
 - ``GET /result/<id>`` — ``200`` with the terminal
   :class:`~repro.serving.scheduler.ServeResult` once done, ``202
   {"status": "pending"}`` while queued/executing, ``404`` for unknown ids.
-- ``GET /healthz`` — ``200`` while at least one shard admits traffic,
-  ``503`` otherwise.
+- ``GET /trace/<id>`` — the request's trace timeline (by trace id or
+  request id): every hop from admission through scheduler, pool worker,
+  supervisor, executor and controller; ``404`` once evicted/unknown.
+- ``GET /healthz`` — ``200`` while at least one shard admits traffic and
+  the SLO error budget is not fast-burning, ``503`` otherwise.
 - ``GET /stats`` — scheduler depths, admission counters, per-shard
   served/failures/busy time.
 - ``GET /metrics`` — the process Prometheus scrape (text exposition).
@@ -86,7 +89,12 @@ def _submit_handler(pool: CrossbarPool):
             return 400, {"error": str(exc)}
         except ReproError as exc:
             return 400, {"error": f"{type(exc).__name__}: {exc}"}
-        return 202, {"id": request_id, "status": "queued"}
+        trace_id = pool.trace_id_for(request_id) or ""
+        return 202, {
+            "id": request_id,
+            "status": "queued",
+            "trace_id": trace_id,
+        }
 
     return handle
 
@@ -98,8 +106,23 @@ def _result_handler(pool: CrossbarPool):
         if status == "unknown":
             return 404, {"error": f"unknown request id {request_id!r}"}
         if status == "pending":
-            return 202, {"id": request_id, "status": "pending"}
+            return 202, {
+                "id": request_id,
+                "status": "pending",
+                "trace_id": pool.trace_id_for(request_id) or "",
+            }
         return 200, pool.results.get(request_id).to_dict()
+
+    return handle
+
+
+def _trace_handler(pool: CrossbarPool):
+    def handle(match, _body):
+        trace_id = match.group("id")
+        timeline = pool.traces.timeline(trace_id)
+        if timeline is None:
+            return 404, {"error": f"unknown or evicted trace {trace_id!r}"}
+        return 200, timeline
 
     return handle
 
@@ -107,7 +130,11 @@ def _result_handler(pool: CrossbarPool):
 def _healthz_handler(pool: CrossbarPool):
     def handle(_match, _body):
         health = pool.healthz()
-        return (200 if health["healthy_shards"] else 503), health
+        ok = (
+            health["healthy_shards"] > 0
+            and health["status"] != "fast_burn"
+        )
+        return (200 if ok else 503), health
 
     return handle
 
@@ -140,6 +167,11 @@ def build_routes(pool: CrossbarPool):
             "GET",
             re.compile(r"/result/(?P<id>[A-Za-z0-9._:-]+)/?$"),
             _result_handler(pool),
+        ),
+        (
+            "GET",
+            re.compile(r"/trace/(?P<id>[A-Za-z0-9._:-]+)/?$"),
+            _trace_handler(pool),
         ),
         ("GET", re.compile(r"/healthz/?$"), _healthz_handler(pool)),
         ("GET", re.compile(r"/stats/?$"), _stats_handler(pool)),
@@ -235,6 +267,23 @@ def quick_selftest(shards: int = 2, workload: str = "Robert") -> int:
                     f"served speedup {served_speedup} != direct "
                     f"{direct.speedup}"
                 )
+        if result is not None and status == 200:
+            trace_id = result.get("trace_id")
+            if not trace_id:
+                failures.append(f"result carries no trace_id: {result}")
+            else:
+                status, timeline = _http_json(f"{base}/trace/{trace_id}")
+                layers = {
+                    event["layer"]
+                    for event in (timeline or {}).get("events", [])
+                }
+                needed = {"frontend", "scheduler", "pool", "supervisor",
+                          "executor"}
+                if status != 200 or not needed <= layers:
+                    failures.append(
+                        f"trace timeline incomplete: {status} layers="
+                        f"{sorted(layers)}"
+                    )
         status, stats = _http_json(f"{base}/stats")
         if status != 200 or stats["scheduler"]["admitted"] < 1:
             failures.append(f"stats: {status} {stats}")

@@ -35,10 +35,14 @@ from dataclasses import dataclass, field
 from repro.core.config import APIMConfig
 from repro.errors import ServingError, ShardUnavailableError
 from repro.observability.instruments import (
+    record_request_duration,
     record_reroute,
     record_served,
     record_shard_health,
 )
+from repro.observability.sketch import LatencyAnalytics
+from repro.observability.slo import BurnRateEvaluator, SLOPolicy
+from repro.observability.tracing import TraceStore, use_trace
 from repro.quality.qos import QoSPolicy
 from repro.runtime.campaign import run_point
 from repro.runtime.comparison import ComparisonHarness
@@ -107,12 +111,23 @@ class CrossbarPool:
         idle_poll_s: float = 0.02,
         scheduler: BatchingScheduler | None = None,
         results: ResultStore | None = None,
+        trace_store: TraceStore | None = None,
+        slo_policy: SLOPolicy | None = None,
     ) -> None:
         if shards < 1:
             raise ServingError("pool needs at least one shard")
         self.serving_config = serving_config or ServingConfig()
         self.scheduler = scheduler or BatchingScheduler(self.serving_config)
         self.results = results or ResultStore()
+        # Explicit None test: an empty TraceStore is falsy (len 0), and
+        # ``or`` would silently discard a caller-provided store.
+        self.traces = trace_store if trace_store is not None else TraceStore()
+        self.latency = LatencyAnalytics()
+        # Burn rates run on the scheduler's clock so a ManualClock-driven
+        # test controls both admission and SLO windows from one place.
+        self.slo = BurnRateEvaluator(
+            slo_policy or SLOPolicy(), clock=self.scheduler.clock
+        )
         self.qos = qos or QoSPolicy()
         self.max_relax_bits = max_relax_bits
         self.degradation_step = degradation_step
@@ -269,7 +284,14 @@ class CrossbarPool:
         if deadline_s is not None and deadline_s <= 0:
             raise ServingError(f"deadline_s must be positive: {deadline_s}")
         self.ensure_started()
+        trace = self.traces.new_trace(
+            workload=workload, tenant=tenant, relax_bits=int(relax_bits)
+        )
         if not any(shard.healthy for shard in self.shards):
+            trace.event(
+                "pool", "shed", "every shard breaker open",
+                shards=len(self.shards),
+            )
             raise ShardUnavailableError(
                 "every shard's breaker is open; retry after cooldown"
             )
@@ -289,6 +311,12 @@ class CrossbarPool:
                 if deadline_s is None
                 else self.scheduler.clock() + deadline_s
             ),
+            trace=trace,
+        )
+        self.traces.bind(request.id, trace.trace_id)
+        trace.event(
+            "frontend", "admitted", request_id=request.id,
+            priority=request.priority,
         )
         self.results.register(request.id)
         try:
@@ -298,6 +326,10 @@ class CrossbarPool:
             self.results.discard(request.id)
             raise
         return request.id
+
+    def trace_id_for(self, request_id: str) -> str | None:
+        """The trace id bound to a request id (None once evicted)."""
+        return self.traces.trace_id_for(request_id)
 
     def result(
         self, request_id: str, timeout: float | None = None
@@ -312,13 +344,27 @@ class CrossbarPool:
 
     def healthz(self) -> dict:
         healthy = sum(1 for shard in self.shards if shard.healthy)
+        slo = self.slo.evaluate()
+        if healthy == 0:
+            status = "unhealthy"
+        elif slo["verdict"] == "fast_burn":
+            # Shards are up but the error budget is burning too fast to
+            # sustain: report unhealthy so load balancers back off.
+            status = "fast_burn"
+        elif healthy < len(self.shards):
+            status = "degraded"
+        else:
+            status = "ok"
         return {
-            "status": "ok" if healthy == len(self.shards) else (
-                "degraded" if healthy else "unhealthy"
-            ),
+            "status": status,
             "shards": len(self.shards),
             "healthy_shards": healthy,
             "started": self._started,
+            "slo": {
+                "verdict": slo["verdict"],
+                "short_burn": slo["short_burn"],
+                "long_burn": slo["long_burn"],
+            },
         }
 
     def stats(self) -> dict:
@@ -328,6 +374,13 @@ class CrossbarPool:
                 "pending": self.results.pending,
                 "completed": self.results.completed,
                 "evicted": self.results.evicted,
+            },
+            "latency": self.latency.summary(),
+            "slo": self.slo.evaluate(),
+            "traces": {
+                "resident": len(self.traces),
+                "evicted": self.traces.evicted,
+                "spilled": self.traces.spilled,
             },
             "shards": [
                 {
@@ -377,6 +430,11 @@ class CrossbarPool:
                 # Breaker tripped mid-batch: hand the rest back so a
                 # healthy shard picks it up.
                 rerouted = batch[position:]
+                for held in rerouted:
+                    held.trace_event(
+                        "pool", "reroute", "shard breaker open",
+                        shard=shard.index, reroutes=held.reroutes,
+                    )
                 self.scheduler.requeue(rerouted)
                 record_reroute(len(rerouted))
                 return
@@ -387,7 +445,12 @@ class CrossbarPool:
     ) -> None:
         now = time.monotonic()
         queue_wait = max(0.0, now - request.submitted_at)
+        trace_id = request.trace.trace_id if request.trace else ""
         if self._expired(request, now):
+            request.trace_event(
+                "pool", "expired", "deadline passed while queued",
+                shard=shard.index,
+            )
             result = ServeResult(
                 id=request.id,
                 tenant=request.tenant,
@@ -399,24 +462,32 @@ class CrossbarPool:
                 queue_wait_s=queue_wait,
                 batch_size=batch_size,
                 error="deadline passed while queued",
+                trace_id=trace_id,
             )
             self.results.complete(result)
             record_served(shard.index, request.tenant, "expired", 0.0)
+            self._account(queue_wait, 0.0, queue_wait, trace_id, ok=False)
             return
+        request.trace_event(
+            "pool", "dispatch", shard=shard.index, batch_size=batch_size,
+            queue_wait_s=round(queue_wait, 6),
+        )
         start = time.monotonic()
         try:
-            point = run_point(
-                shard.workload(request.workload),
-                request.relax_bits,
-                float(request.dataset_bytes),
-                shard.harness,
-                supervisor=shard.supervisor,
-                chaos=shard.chaos,
-                qos=self.qos,
-                max_relax_bits=self.max_relax_bits,
-                degradation_step=self.degradation_step,
-                key_prefix=f"{shard.key}/",
-            )
+            with use_trace(request.trace):
+                point = run_point(
+                    shard.workload(request.workload),
+                    request.relax_bits,
+                    float(request.dataset_bytes),
+                    shard.harness,
+                    supervisor=shard.supervisor,
+                    chaos=shard.chaos,
+                    qos=self.qos,
+                    max_relax_bits=self.max_relax_bits,
+                    degradation_step=self.degradation_step,
+                    key_prefix=f"{shard.key}/",
+                    trace=request.trace,
+                )
             status = point.status
             attempts = point.attempts
             error = None
@@ -435,6 +506,10 @@ class CrossbarPool:
         else:
             shard.breaker.record_success(shard.key)
         self.scheduler.note_service_time(service_s)
+        request.trace_event(
+            "pool", "complete", status=status, attempts=attempts,
+            service_s=round(service_s, 6),
+        )
         result = ServeResult(
             id=request.id,
             tenant=request.tenant,
@@ -449,9 +524,30 @@ class CrossbarPool:
             batch_size=batch_size,
             point=point,
             error=error,
+            trace_id=trace_id,
         )
         self.results.complete(result)
         record_served(shard.index, request.tenant, status, service_s)
+        self._account(
+            queue_wait, service_s, queue_wait + service_s, trace_id,
+            ok=result.completed,
+        )
+
+    def _account(
+        self,
+        queue_wait_s: float,
+        service_s: float,
+        e2e_s: float,
+        trace_id: str,
+        ok: bool,
+    ) -> None:
+        """Fold one terminal request into the tail sketches, the SLO
+        window and the exemplar-carrying duration histogram."""
+        self.latency.observe("queue_wait", queue_wait_s)
+        self.latency.observe("service", service_s)
+        self.latency.observe("e2e", e2e_s)
+        self.slo.record(e2e_s, ok=ok)
+        record_request_duration(e2e_s, trace_id or None)
 
 
 class Client:

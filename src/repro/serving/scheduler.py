@@ -45,6 +45,7 @@ from repro.observability.instruments import (
 from repro.units import MIB
 
 if TYPE_CHECKING:
+    from repro.observability.tracing import TraceContext
     from repro.runtime.campaign import CampaignPoint
 
 __all__ = [
@@ -119,11 +120,18 @@ class ServeRequest:
     submitted_at: float = 0.0
     #: Times the request was pushed back after landing on a sick shard.
     reroutes: int = 0
+    #: The request's trace context (set at pool admission), or None.
+    trace: "TraceContext | None" = None
 
     @property
     def batch_key(self) -> tuple[str, int, int]:
         """Requests sharing this key coalesce into one batch."""
         return (self.workload, self.relax_bits, self.dataset_bytes)
+
+    def trace_event(self, layer: str, kind: str, detail: str = "", **attrs):
+        """Append to this request's trace, if it carries one."""
+        if self.trace is not None:
+            self.trace.event(layer, kind, detail, **attrs)
 
 
 @dataclass(frozen=True)
@@ -143,6 +151,8 @@ class ServeResult:
     batch_size: int = 0
     point: "CampaignPoint | None" = None
     error: str | None = None
+    #: Trace id for ``GET /trace/<id>`` (empty when tracing was off).
+    trace_id: str = ""
 
     def __post_init__(self) -> None:
         if self.status not in RESULT_STATUSES:
@@ -331,6 +341,10 @@ class BatchingScheduler:
                 if not block:
                     self.rejected["queue_full"] += 1
                     record_admission("rejected_queue_full")
+                    request.trace_event(
+                        "scheduler", "rejected", "queue_full",
+                        priority=priority, depth=ring.size,
+                    )
                     raise AdmissionRejectedError(
                         f"priority-{priority} queue at capacity "
                         f"{self.config.queue_capacity}; retry in "
@@ -348,6 +362,10 @@ class BatchingScheduler:
                 if slack <= self._estimated_delay_locked():
                     self.rejected["deadline"] += 1
                     record_admission("rejected_deadline")
+                    request.trace_event(
+                        "scheduler", "rejected", "deadline",
+                        slack_s=round(slack, 6),
+                    )
                     raise AdmissionRejectedError(
                         f"{request.id}: {slack:.3f}s of deadline slack < "
                         f"estimated queue delay "
@@ -359,6 +377,10 @@ class BatchingScheduler:
             self.admitted += 1
             record_admission("admitted")
             set_queue_depth(priority, ring.size)
+            request.trace_event(
+                "scheduler", "queue_enter",
+                priority=priority, depth=ring.size,
+            )
             self._nonempty.notify_all()
 
     def requeue(self, requests: list[ServeRequest]) -> None:
@@ -372,6 +394,10 @@ class BatchingScheduler:
                 ring = self._classes[request.priority]
                 ring.push_front(request)
                 set_queue_depth(request.priority, ring.size)
+                request.trace_event(
+                    "scheduler", "reroute_requeue",
+                    reroutes=request.reroutes,
+                )
             self._nonempty.notify_all()
 
     # -- the consumer side ----------------------------------------------------
@@ -422,8 +448,25 @@ class BatchingScheduler:
                         self._gather_locked(key, limit - len(batch))
                     )
             now = self.clock()
-            for request in batch:
+            head_trace = head.trace.trace_id if head.trace else ""
+            for position, request in enumerate(batch):
                 record_queue_wait(max(0.0, now - request.submitted_at))
+                request.trace_event(
+                    "scheduler", "queue_exit",
+                    wait_s=round(max(0.0, now - request.submitted_at), 6),
+                )
+                # One link per coalesced request: followers point at the
+                # batch head's trace, the head lists the batch size.
+                if position == 0:
+                    request.trace_event(
+                        "scheduler", "batch_lead", size=len(batch),
+                    )
+                else:
+                    request.trace_event(
+                        "scheduler", "batch_join",
+                        head_trace=head_trace, position=position,
+                        size=len(batch),
+                    )
             record_batch(len(batch))
             for priority in {request.priority for request in batch}:
                 set_queue_depth(priority, self._classes[priority].size)

@@ -30,6 +30,8 @@ from repro.errors import (
     ReproError,
     ServingError,
     ShardUnavailableError,
+    SLOError,
+    TracingError,
     TransientError,
     WorkloadError,
 )
@@ -49,6 +51,8 @@ ALL_ERRORS = [
     RecoveryError,
     ServingError,
     ShardUnavailableError,
+    SLOError,
+    TracingError,
     TransientError,
     WorkloadError,
 ]
@@ -153,3 +157,13 @@ class TestHierarchy:
         assert manager.policy.enabled
         assert FaultError.__module__ == "repro.errors"
         assert RecoveryError.__module__ == "repro.errors"
+
+    def test_observability_errors_share_the_observability_base(self):
+        """Tracing and SLO failures are observability failures: one
+        ``except ObservabilityError`` covers the whole telemetry surface."""
+        from repro.errors import ObservabilityError
+
+        for exc in (TracingError, SLOError):
+            assert issubclass(exc, ObservabilityError)
+            with pytest.raises(ObservabilityError):
+                raise exc("boom")

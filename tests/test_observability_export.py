@@ -32,6 +32,13 @@ def golden_registry() -> MetricsRegistry:
     registry.gauge(
         "repro_campaign_in_flight", "Grid points currently executing."
     ).set(1)
+    registry.gauge(
+        "repro_build_info",
+        "Constant 1; labels identify the build serving this scrape.",
+        ("version", "python", "config_hash"),
+    ).labels(
+        version="1.2.3", python="3.12.0", config_hash="abc123def456"
+    ).set(1)
     lat = registry.histogram(
         "repro_executor_time_seconds",
         "Simulated tile latency per execution.",
@@ -40,6 +47,11 @@ def golden_registry() -> MetricsRegistry:
     )
     for value in (5e-07, 4e-06, 2.0):
         lat.labels(workload="Sobel").observe(value)
+    # One bucket carries a trace-id exemplar; the others stay bare to pin
+    # that exemplar-free exposition is unchanged.
+    lat.labels(workload="Sobel").observe(
+        2e-06, exemplar={"trace_id": "t-00000001"}
+    )
     escaped = registry.counter(
         "repro_escaping_total", 'Help with \\ and\nnewline.', ("detail",)
     )
@@ -66,13 +78,13 @@ class TestPrometheusExposition:
         )
         assert (
             'repro_executor_time_seconds_bucket{workload="Sobel",le="4e-06"}'
-            " 2" in text
+            ' 3 # {trace_id="t-00000001"} 2e-06' in text
         )
         assert (
             'repro_executor_time_seconds_bucket{workload="Sobel",le="+Inf"}'
-            " 3" in text
+            " 4" in text
         )
-        assert 'repro_executor_time_seconds_count{workload="Sobel"} 3' in text
+        assert 'repro_executor_time_seconds_count{workload="Sobel"} 4' in text
 
     def test_empty_registry_renders_empty(self):
         assert to_prometheus(MetricsRegistry()) == ""
@@ -109,8 +121,8 @@ class TestSnapshot:
             "samples"
         ]
         assert sample["buckets"] == [1e-06, 4e-06, 1.6e-05]
-        assert sample["counts"] == [1, 1, 0, 1]
-        assert sample["count"] == 3
+        assert sample["counts"] == [1, 2, 0, 1]
+        assert sample["count"] == 4
 
 
 class TestJsonlSink:
@@ -135,3 +147,200 @@ class TestJsonlSink:
     def test_unwritable_path_raises(self, tmp_path):
         with pytest.raises(ObservabilityError):
             JsonlSnapshotSink(str(tmp_path / "missing" / "t.jsonl"))
+
+
+class TestSinkRotation:
+    def _line_size(self, registry) -> int:
+        record = snapshot(registry)
+        record.update(run=1)  # mirror the extra field the tests pass
+        return len(
+            json.dumps(record, separators=(",", ":"), sort_keys=True) + "\n"
+        )
+
+    def test_rotates_after_the_write_that_crosses_max_bytes(self, tmp_path):
+        """A snapshot is never split: the crossing write completes into
+        the live file, *then* the file rotates to ``.1``."""
+        registry = golden_registry()
+        size = self._line_size(registry)
+        path = str(tmp_path / "telemetry.jsonl")
+        with JsonlSnapshotSink(path, max_bytes=size + 1) as sink:
+            sink.write(registry, run=1)   # below the threshold: no rotation
+            assert sink.rotations == 0
+            sink.write(registry, run=2)   # crosses: rotates after writing
+            assert sink.rotations == 1
+            sink.write(registry, run=3)
+        live = open(path, encoding="utf-8").read().splitlines()
+        rotated = open(path + ".1", encoding="utf-8").read().splitlines()
+        assert [json.loads(l)["run"] for l in rotated] == [1, 2]
+        assert [json.loads(l)["run"] for l in live] == [3]
+        # Every line in every generation parses whole — never torn.
+        for line in live + rotated:
+            json.loads(line)
+
+    def test_keep_bounds_the_generations_and_drops_the_oldest(self, tmp_path):
+        import os as os_module
+
+        registry = golden_registry()
+        path = str(tmp_path / "telemetry.jsonl")
+        with JsonlSnapshotSink(path, max_bytes=1, keep=2) as sink:
+            for run in range(1, 6):       # every write rotates
+                sink.write(registry, run=run)
+        names = sorted(os_module.listdir(tmp_path))
+        assert names == [
+            "telemetry.jsonl", "telemetry.jsonl.1", "telemetry.jsonl.2",
+        ]
+        newest = open(path + ".1", encoding="utf-8").read()
+        oldest = open(path + ".2", encoding="utf-8").read()
+        assert json.loads(newest)["run"] == 5
+        assert json.loads(oldest)["run"] == 4  # runs 1-3 aged out
+
+    def test_keep_zero_discards_rotated_data(self, tmp_path):
+        """keep=0: rotation deletes instead of shifting — every crossing
+        write is written whole, then dropped; no ``.N`` files appear."""
+        import os as os_module
+
+        registry = golden_registry()
+        path = str(tmp_path / "telemetry.jsonl")
+        with JsonlSnapshotSink(path, max_bytes=1, keep=0) as sink:
+            sink.write(registry, run=1)
+            sink.write(registry, run=2)
+            assert sink.rotations == 2
+        assert sorted(os_module.listdir(tmp_path)) == ["telemetry.jsonl"]
+        assert open(path, encoding="utf-8").read() == ""
+
+    def test_invalid_rotation_config_raises(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with pytest.raises(ObservabilityError):
+            JsonlSnapshotSink(path, max_bytes=0)
+        with pytest.raises(ObservabilityError):
+            JsonlSnapshotSink(path, max_bytes=10, keep=-1)
+
+    def test_unbounded_sink_never_rotates(self, tmp_path):
+        registry = golden_registry()
+        path = str(tmp_path / "t.jsonl")
+        with JsonlSnapshotSink(path) as sink:
+            for run in range(10):
+                sink.write(registry, run=run)
+            assert sink.rotations == 0
+        lines = open(path, encoding="utf-8").read().splitlines()
+        assert len(lines) == 10
+
+
+class TestExemplars:
+    def test_bucket_without_exemplar_renders_bare(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_d_seconds", "", buckets=(1.0,))
+        hist.observe(0.5)
+        text = to_prometheus(registry)
+        assert 'repro_d_seconds_bucket{le="1"} 1\n' in text
+        assert "#" not in text.split("# TYPE")[1].splitlines()[1]
+
+    def test_exemplar_attaches_to_the_landing_bucket_only(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "repro_d_seconds", "", buckets=(0.1, 1.0)
+        )
+        hist.observe(0.5, exemplar={"trace_id": "t-0000000a"})
+        hist.observe(0.05)
+        text = to_prometheus(registry)
+        assert (
+            'repro_d_seconds_bucket{le="1"} 2 # {trace_id="t-0000000a"} 0.5'
+            in text
+        )
+        assert 'repro_d_seconds_bucket{le="0.1"} 1\n' in text
+        assert 'repro_d_seconds_bucket{le="+Inf"} 2\n' in text
+
+    def test_latest_exemplar_wins_per_bucket(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_d_seconds", "", buckets=(1.0,))
+        hist.observe(0.5, exemplar={"trace_id": "t-old"})
+        hist.observe(0.6, exemplar={"trace_id": "t-new"})
+        text = to_prometheus(registry)
+        assert '# {trace_id="t-new"} 0.6' in text
+        assert "t-old" not in text
+
+    def test_overflow_bucket_can_carry_an_exemplar(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_d_seconds", "", buckets=(1.0,))
+        hist.observe(5.0, exemplar={"trace_id": "t-slow"})
+        text = to_prometheus(registry)
+        assert (
+            'repro_d_seconds_bucket{le="+Inf"} 1 # {trace_id="t-slow"} 5'
+            in text
+        )
+
+    def test_request_duration_helper_records_with_exemplar(self):
+        from repro.observability import set_default_registry
+        from repro.observability.instruments import record_request_duration
+
+        registry = MetricsRegistry()
+        previous = set_default_registry(registry)
+        try:
+            record_request_duration(0.25, trace_id="t-00000007")
+            record_request_duration(0.35)  # no trace: no exemplar
+        finally:
+            set_default_registry(previous)
+        text = to_prometheus(registry)
+        assert "repro_request_duration_seconds_count 2" in text
+        assert '# {trace_id="t-00000007"} 0.25' in text
+
+
+class TestBuildInfo:
+    def test_set_build_info_stamps_the_default_registry(self):
+        from repro.observability import set_default_registry
+        from repro.observability.instruments import set_build_info
+
+        registry = MetricsRegistry()
+        previous = set_default_registry(registry)
+        try:
+            set_build_info()
+        finally:
+            set_default_registry(previous)
+        family = registry.get("repro_build_info")
+        ((labels, child),) = family.samples()
+        labelled = dict(labels)
+        assert child.value == 1
+        import platform
+
+        from repro import __version__
+
+        assert labelled["version"] == __version__
+        assert labelled["python"] == platform.python_version()
+        config_hash = labelled["config_hash"]
+        assert len(config_hash) == 12
+        int(config_hash, 16)  # hex digest prefix
+
+    def test_config_hash_is_deterministic_across_calls(self):
+        from repro.observability import set_default_registry
+        from repro.observability.instruments import set_build_info
+
+        hashes = []
+        for _ in range(2):
+            registry = MetricsRegistry()
+            previous = set_default_registry(registry)
+            try:
+                set_build_info()
+            finally:
+                set_default_registry(previous)
+            ((labels, _),) = registry.get("repro_build_info").samples()
+            hashes.append(dict(labels)["config_hash"])
+        assert hashes[0] == hashes[1]
+
+    def test_explicit_labels_override_detection(self):
+        from repro.observability import set_default_registry
+        from repro.observability.instruments import set_build_info
+
+        registry = MetricsRegistry()
+        previous = set_default_registry(registry)
+        try:
+            set_build_info(
+                version="9.9.9", python="3.99", config_hash="feedc0ffee12"
+            )
+        finally:
+            set_default_registry(previous)
+        ((labels, child),) = registry.get("repro_build_info").samples()
+        assert dict(labels) == {
+            "version": "9.9.9", "python": "3.99",
+            "config_hash": "feedc0ffee12",
+        }
+        assert child.value == 1

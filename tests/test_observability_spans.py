@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import threading
 
+import pytest
+
 from repro.observability import (
     MetricsRegistry,
     SpanProfiler,
@@ -93,6 +95,84 @@ class TestHierarchy:
             pass
         profiler.reset()
         assert profiler.roots == ()
+
+
+class TestStackHygiene:
+    """Regressions for per-thread stack leaks: however a span exits —
+    exception, nested exception, out-of-order generator close — the
+    thread's stack must end empty and no span may adopt the wrong
+    parent."""
+
+    def test_exception_through_nested_spans_leaves_stack_empty(self):
+        from repro.errors import KernelExecutionError
+
+        profiler, clock = _profiler(registry=MetricsRegistry())
+        with pytest.raises(KernelExecutionError):
+            with profiler.span("outer"):
+                with profiler.span("middle"):
+                    with profiler.span("inner"):
+                        clock.advance(0.1)
+                        raise KernelExecutionError("kernel died mid-span")
+        assert profiler._stack() == []
+        (root,) = profiler.roots
+        assert root.name == "outer"
+        (middle,) = root.children
+        assert [c.name for c in middle.children] == ["inner"]
+
+    def test_partial_unwind_keeps_later_spans_correctly_parented(self):
+        profiler, clock = _profiler(registry=MetricsRegistry())
+        try:
+            with profiler.span("outer"):
+                try:
+                    with profiler.span("doomed"):
+                        raise RuntimeError("recovered")
+                except RuntimeError:
+                    pass
+                with profiler.span("sibling"):
+                    clock.advance(0.1)
+        finally:
+            pass
+        assert profiler._stack() == []
+        (root,) = profiler.roots
+        assert [c.name for c in root.children] == ["doomed", "sibling"]
+
+    def test_out_of_order_generator_close_does_not_misparent(self):
+        """Two spans held open as raw context managers, closed in the
+        wrong order: identity-based removal must unwind both without
+        making the survivor a child of the first-closed span (the old
+        blind ``stack.pop()`` popped the wrong record)."""
+        profiler, clock = _profiler(registry=MetricsRegistry())
+        first = profiler.span("first")
+        second = profiler.span("second")
+        first.__enter__()
+        second.__enter__()
+        clock.advance(0.5)
+        first.__exit__(None, None, None)   # out of order
+        with profiler.span("after"):       # stack is [second] here
+            clock.advance(0.25)
+        second.__exit__(None, None, None)
+        assert profiler._stack() == []
+        roots = {r.name: r for r in profiler.roots}
+        assert set(roots) == {"first", "second"}
+        assert [c.name for c in roots["second"].children] == ["after"]
+        assert roots["first"].children == []
+
+    def test_worker_thread_stack_empty_after_exception(self):
+        profiler, _ = _profiler(registry=MetricsRegistry())
+        leftovers = []
+
+        def work():
+            try:
+                with profiler.span("worker"):
+                    raise ValueError("thread-local unwind")
+            except ValueError:
+                pass
+            leftovers.append(list(profiler._stack()))
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join(timeout=10.0)
+        assert leftovers == [[]]
 
 
 class TestPublishing:

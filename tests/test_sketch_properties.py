@@ -1,0 +1,194 @@
+"""Property tests for the streaming quantile sketch.
+
+The sketch's headline claim is *self-certification*: every quantile it
+reports is within :meth:`~repro.observability.sketch.QuantileSketch.rank_error`
+ranks of the truth, and merging sums the certificates.  These tests
+assert against the sketch's own certificate — not a folklore constant —
+under arbitrary observation streams, plus the structural invariants the
+serving layer relies on (monotone quantiles, exact extremes, exactness
+before the first compaction).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ObservabilityError
+from repro.observability.sketch import (
+    TAIL_QUANTILES,
+    LatencyAnalytics,
+    QuantileSketch,
+)
+
+latencies = st.lists(
+    st.floats(
+        min_value=0.0, max_value=1e6,
+        allow_nan=False, allow_infinity=False,
+    ),
+    min_size=1, max_size=600,
+)
+
+QUANTILE_GRID = (0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0)
+
+
+def _rank_bounds(sorted_values: list[float], value: float) -> tuple[int, int]:
+    """The true rank range of ``value``: [#(< value), #(<= value)]."""
+    import bisect
+
+    return (
+        bisect.bisect_left(sorted_values, value),
+        bisect.bisect_right(sorted_values, value),
+    )
+
+
+def _max_weight(sketch: QuantileSketch) -> int:
+    return max(
+        (1 << level for level, buf in enumerate(sketch._levels) if buf),
+        default=1,
+    )
+
+
+def _assert_within_certificate(
+    sketch: QuantileSketch, values: list[float]
+) -> None:
+    ordered = sorted(values)
+    n = len(ordered)
+    # The certificate bounds the rank displacement from compactions; one
+    # item's weight covers the discretisation of landing inside a
+    # weight-2^l block when cumulative weight first crosses the target.
+    slack = sketch.rank_error() + _max_weight(sketch)
+    for q in QUANTILE_GRID:
+        estimate = sketch.quantile(q)
+        low, high = _rank_bounds(ordered, estimate)
+        target = q * n
+        assert low - slack <= target <= high + slack, (
+            q, estimate, low, high, target, slack,
+        )
+
+
+class TestRankErrorCertificate:
+    @given(values=latencies)
+    @settings(max_examples=80, deadline=None)
+    def test_quantiles_within_the_certificate(self, values):
+        sketch = QuantileSketch(capacity=32)
+        for value in values:
+            sketch.observe(value)
+        _assert_within_certificate(sketch, values)
+
+    @given(values=latencies)
+    @settings(max_examples=80, deadline=None)
+    def test_quantiles_are_monotone_in_q(self, values):
+        sketch = QuantileSketch(capacity=32)
+        for value in values:
+            sketch.observe(value)
+        estimates = [sketch.quantile(q) for q in QUANTILE_GRID]
+        assert all(
+            later >= earlier
+            for earlier, later in zip(estimates, estimates[1:])
+        )
+
+    @given(values=latencies)
+    @settings(max_examples=80, deadline=None)
+    def test_extremes_and_moments_are_exact(self, values):
+        sketch = QuantileSketch(capacity=32)
+        for value in values:
+            sketch.observe(value)
+        assert sketch.quantile(0.0) == min(values)
+        assert sketch.quantile(1.0) == max(values)
+        assert sketch.count == len(values)
+        assert sketch.sum == pytest.approx(math.fsum(values))
+
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=0.0, max_value=1e6,
+                allow_nan=False, allow_infinity=False,
+            ),
+            min_size=1, max_size=32,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_exact_until_first_compaction(self, values):
+        """With n <= capacity no compaction runs: certificate zero and
+        every quantile is a true order statistic."""
+        sketch = QuantileSketch(capacity=32)
+        for value in values:
+            sketch.observe(value)
+        assert sketch.rank_error() == 0
+        ordered = sorted(values)
+        for q in QUANTILE_GRID[1:-1]:
+            rank = max(0, math.ceil(q * len(ordered)) - 1)
+            assert sketch.quantile(q) == ordered[rank]
+
+
+class TestMerge:
+    @given(left=latencies, right=latencies)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_approximates_concatenation(self, left, right):
+        """merge(a, b) answers like a sketch of a+b, within the merged
+        sketch's own (summed) certificate."""
+        merged = QuantileSketch(capacity=32)
+        for value in left:
+            merged.observe(value)
+        other = QuantileSketch(capacity=32)
+        for value in right:
+            other.observe(value)
+        certificates_before = merged.rank_error() + other.rank_error()
+        merged.merge(other)
+        assert merged.count == len(left) + len(right)
+        assert merged.rank_error() >= certificates_before
+        _assert_within_certificate(merged, left + right)
+
+    def test_merge_with_self_raises(self):
+        sketch = QuantileSketch()
+        with pytest.raises(ObservabilityError):
+            sketch.merge(sketch)
+
+
+class TestEdges:
+    def test_empty_sketch_answers_nan(self):
+        sketch = QuantileSketch()
+        assert math.isnan(sketch.quantile(0.5))
+        assert math.isnan(sketch.mean)
+        assert sketch.count == 0
+
+    def test_nan_observation_rejected(self):
+        with pytest.raises(ObservabilityError):
+            QuantileSketch().observe(float("nan"))
+
+    def test_tiny_capacity_rejected(self):
+        with pytest.raises(ObservabilityError):
+            QuantileSketch(capacity=4)
+
+    def test_out_of_range_quantile_rejected(self):
+        with pytest.raises(ObservabilityError):
+            QuantileSketch().quantile(1.5)
+
+    def test_summary_carries_tail_quantiles_and_certificate(self):
+        sketch = QuantileSketch()
+        for index in range(100):
+            sketch.observe(index / 100.0)
+        summary = sketch.summary()
+        assert set(TAIL_QUANTILES) <= set(summary)
+        assert summary["count"] == 100
+        assert summary["rank_error"] == 0
+
+
+class TestLatencyAnalytics:
+    def test_layers_are_independent_and_summarised(self):
+        analytics = LatencyAnalytics()
+        analytics.observe("queue_wait", 0.001)
+        analytics.observe("service", 0.2)
+        analytics.observe("e2e", 0.201)
+        assert analytics.layers() == ("e2e", "queue_wait", "service")
+        summary = analytics.summary()
+        assert summary["service"]["count"] == 1
+        assert summary["queue_wait"]["max"] == 0.001
+
+    def test_sketch_identity_is_stable_per_layer(self):
+        analytics = LatencyAnalytics()
+        assert analytics.sketch("e2e") is analytics.sketch("e2e")
