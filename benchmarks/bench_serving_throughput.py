@@ -2,13 +2,19 @@
 
 Not a paper artifact — the serving tier's first baseline.  Three arms:
 
-- **closed-loop shard scaling**: C client threads, each submit-and-wait
-  in a loop over a GEMM-dominated mix, against a 1-shard and a 4-shard
+- **closed-loop shard scaling, per runtime** (``--runtime
+  {thread,subprocess,all}``): C client threads, each submit-and-wait in
+  a loop over a GEMM-dominated mix, against a 1-shard and a 4-shard
   pool under 10% injected chaos.  Reports requests/s and p50/p99
-  latency per shard count, asserts zero lost / zero duplicated
-  requests, and — only when the host actually has >= 4 CPUs, since the
-  executors are pure Python under the GIL — asserts >= 2x throughput at
-  4 shards.
+  latency per (runtime, shard count) and asserts zero lost / zero
+  duplicated requests.  The subprocess runtime is the GIL escape: on a
+  host with >= 4 CPUs it must deliver >= 2x throughput at 4 shards; on
+  smaller hosts that assert is skipped and the bench instead checks the
+  work *distributes* — all four workers serve, and the aggregate
+  worker-process CPU seconds stay near-linear (work is conserved, not
+  duplicated, across the process boundary).  The thread runtime's
+  scaling is reported but never asserted: pure-Python executors under
+  one GIL cannot scale.
 - **open-loop admission**: a burst far beyond a cold 1-shard pool's
   capacity against a tiny queue; asserts backpressure engages (some
   rejections) and every *admitted* request still reaches a terminal
@@ -56,7 +62,7 @@ def _percentile(sorted_values, fraction):
     return sorted_values[index]
 
 
-def _closed_loop(shards: int) -> dict:
+def _closed_loop(shards: int, runtime: str = "thread") -> dict:
     """C closed-loop clients over the mix; chaos on; full accounting."""
     pool = CrossbarPool(
         shards=shards,
@@ -64,6 +70,7 @@ def _closed_loop(shards: int) -> dict:
         seed=SEED,
         chaos_policy=CHAOS,
         serving_config=ServingConfig(queue_capacity=256),
+        runtime=runtime,
     )
     latencies: list[float] = []
     ids: list[str] = []
@@ -78,6 +85,14 @@ def _closed_loop(shards: int) -> dict:
             for workload, relax, size in MIX:
                 warm.call(workload, relax_bits=relax, dataset_bytes=size,
                           timeout=120.0)
+        # Steady-state accounting only: each subprocess worker paid a
+        # one-off cold-cache tile-pricing cost during warm-up that scales
+        # with fan-out, not with request count.
+        warm_cpu_s = (
+            pool.runtime.worker_cpu_seconds()
+            if runtime == "subprocess"
+            else 0.0
+        )
 
         def client_loop(name: str) -> None:
             client = Client(pool, tenant=name)
@@ -112,7 +127,11 @@ def _closed_loop(shards: int) -> dict:
     assert all(status in TERMINAL for status in statuses), set(statuses)
     ordered = sorted(latencies)
     busy = sum(shard["busy_s"] for shard in stats["shards"])
+    worker_cpu_s = None
+    if runtime == "subprocess":
+        worker_cpu_s = pool.runtime.worker_cpu_seconds() - warm_cpu_s
     return {
+        "runtime": runtime,
         "shards": shards,
         "requests": expected,
         "wall_s": wall,
@@ -127,6 +146,8 @@ def _closed_loop(shards: int) -> dict:
             shard["busy_s"] / wall for shard in stats["shards"]
         ],
         "total_busy_s": busy,
+        "worker_cpu_s": worker_cpu_s,
+        "workers": stats["runtime"]["workers"],
     }
 
 
@@ -193,14 +214,65 @@ def _batching() -> dict:
     }
 
 
-def test_serving_throughput_baseline(bench_rounds):
-    """The serving tier's first load test; writes ``BENCH_serving.json``."""
-    single = _closed_loop(1)
-    quad = _closed_loop(4)
-    scaling = quad["throughput_rps"] / single["throughput_rps"]
+def test_serving_throughput_baseline(bench_rounds, bench_runtimes):
+    """The serving tier's load test; writes ``BENCH_serving.json``."""
+    cpus = os.cpu_count() or 1
+    closed_loop: dict[str, dict] = {}
+    print()
+    for runtime in bench_runtimes:
+        single = _closed_loop(1, runtime)
+        quad = _closed_loop(4, runtime)
+        scaling = quad["throughput_rps"] / single["throughput_rps"]
+        closed_loop[runtime] = {
+            "1": single,
+            "4": quad,
+            "scaling_4_vs_1": scaling,
+        }
+        for arm in (single, quad):
+            print(
+                f"closed-loop [{runtime}] {arm['shards']} shard(s): "
+                f"{arm['throughput_rps']:.1f} req/s, "
+                f"p50 {arm['p50_latency_s'] * 1e3:.2f} ms, "
+                f"p99 {arm['p99_latency_s'] * 1e3:.2f} ms, "
+                f"statuses {arm['status_counts']}"
+            )
+        print(
+            f"scaling [{runtime}] 4 vs 1 shards: {scaling:.2f}x "
+            f"on {cpus} CPU(s)"
+        )
+        if runtime != "subprocess":
+            continue
+        # The subprocess runtime is the GIL escape: hold it to real
+        # parallelism where parallelism is physical.
+        if cpus >= 4:
+            assert scaling >= 2.0, (
+                f"subprocess runtime: 4 shards only {scaling:.2f}x over "
+                f"1 shard on {cpus} CPUs"
+            )
+        else:
+            print(
+                f"(subprocess scaling assertion skipped: {cpus} CPU(s); "
+                "asserting work distribution instead)"
+            )
+            # Even time-sliced on one CPU, the 4-shard pool must spread
+            # requests across its workers...
+            serving = sum(1 for n in quad["shard_served"] if n > 0)
+            assert serving >= 2, (
+                f"only {serving}/4 subprocess workers served any request"
+            )
+            # ...and conserve work: the aggregate CPU seconds burned in
+            # worker processes stays near-linear with request count (the
+            # same mix at both shard counts), not multiplied by fan-out.
+            per_request_1 = single["worker_cpu_s"] / single["requests"]
+            per_request_4 = quad["worker_cpu_s"] / quad["requests"]
+            assert per_request_1 > 0 and per_request_4 > 0
+            ratio = per_request_4 / per_request_1
+            assert 1.0 / 3.0 <= ratio <= 3.0, (
+                f"worker CPU-seconds per request moved {ratio:.2f}x "
+                "between 1 and 4 shards — work not conserved"
+            )
     open_loop = _open_loop()
     batching = _batching()
-    cpus = os.cpu_count() or 1
     payload = {
         "mix": [list(entry) for entry in MIX],
         "tile_elements": TILE,
@@ -210,23 +282,17 @@ def test_serving_throughput_baseline(bench_rounds):
             "corrupt_rate": CHAOS.corrupt_rate,
         },
         "cpu_count": cpus,
-        "closed_loop": {"1": single, "4": quad},
-        "scaling_4_vs_1": scaling,
+        "runtimes": list(bench_runtimes),
+        "closed_loop": closed_loop,
+        "scaling_4_vs_1": {
+            runtime: arms["scaling_4_vs_1"]
+            for runtime, arms in closed_loop.items()
+        },
         "open_loop": open_loop,
         "batching": batching,
     }
     with open(ARTIFACT, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
-    print()
-    for arm in (single, quad):
-        print(
-            f"closed-loop {arm['shards']} shard(s): "
-            f"{arm['throughput_rps']:.1f} req/s, "
-            f"p50 {arm['p50_latency_s'] * 1e3:.2f} ms, "
-            f"p99 {arm['p99_latency_s'] * 1e3:.2f} ms, "
-            f"statuses {arm['status_counts']}"
-        )
-    print(f"scaling 4 vs 1 shards: {scaling:.2f}x on {cpus} CPU(s)")
     print(
         f"open-loop: {open_loop['rejected']}/100 rejected "
         f"({open_loop['rejection_rate'] * 100:.0f}%), all admitted terminal"
@@ -236,15 +302,3 @@ def test_serving_throughput_baseline(bench_rounds):
         f"mean {batching['mean_batch_size']:.2f}"
     )
     assert open_loop["rejected"] > 0, "backpressure never engaged"
-    # The executors are pure Python: on a single-CPU host the GIL
-    # serialises the shards and the scaling assert would only measure
-    # scheduler overhead.  Enforce it where parallelism is physical.
-    if cpus >= 4:
-        assert scaling >= 2.0, (
-            f"4 shards only {scaling:.2f}x over 1 shard on {cpus} CPUs"
-        )
-    else:
-        print(
-            f"(scaling assertion skipped: host has {cpus} CPU(s); "
-            "GIL-bound shards cannot scale)"
-        )

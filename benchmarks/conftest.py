@@ -16,6 +16,17 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runtime",
+        action="store",
+        default="all",
+        choices=("thread", "subprocess", "all"),
+        help="which shard runtimes the serving benches exercise "
+        "(default: all)",
+    )
+
+
 def pytest_collection_modifyitems(items):
     """Benchmarks execute heavyweight drivers; keep a stable order so the
     memoised GPU locality measurements warm up in the cheap benches."""
@@ -26,3 +37,10 @@ def pytest_collection_modifyitems(items):
 def bench_rounds():
     """Rounds for pedantic benchmark runs (experiment drivers are slow)."""
     return 1
+
+
+@pytest.fixture(scope="session")
+def bench_runtimes(request) -> list[str]:
+    """The shard runtimes the serving benches sweep (``--runtime``)."""
+    choice = request.config.getoption("--runtime")
+    return ["thread", "subprocess"] if choice == "all" else [choice]

@@ -141,6 +141,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="tiny smoke grid (CI): one workload, two levels, two rates",
     )
+    p.add_argument(
+        "--worker-kill-rate", type=float, default=0.0,
+        help="also run a subprocess-pool arm that SIGKILLs live workers "
+        "at this per-request rate and asserts zero lost requests",
+    )
 
     p = sub.add_parser(
         "metrics",
@@ -192,6 +197,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--queue-capacity", type=int, default=64)
     p.add_argument("--seed", type=int, default=2017)
+    p.add_argument(
+        "--runtime", choices=("inline", "thread", "subprocess"),
+        default="thread",
+        help="shard execution mechanics: in-process threads (default), "
+        "synchronous inline, or one supervised worker process per shard",
+    )
+    p.add_argument(
+        "--drain-timeout", type=float, default=30.0,
+        help="seconds to flush in-flight requests after SIGTERM/SIGINT "
+        "before forcing shutdown",
+    )
     p.add_argument(
         "--quick", action="store_true",
         help="self-test (CI): boot on an ephemeral port, round-trip one "
@@ -355,6 +371,80 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
               "guarantee")
         return 1
     print(f"all {expected} points terminal in every sweep — zero lost")
+    if args.worker_kill_rate > 0.0:
+        return _chaos_worker_kill_arm(args, workloads, levels, tile, seed)
+    return 0
+
+
+def _chaos_worker_kill_arm(
+    args: argparse.Namespace,
+    workloads: list,
+    levels: list,
+    tile: int,
+    seed: int,
+) -> int:
+    """Worker-death chaos: SIGKILL live subprocess workers mid-request.
+
+    Drives the grid through a 2-shard subprocess pool whose parent-side
+    injector kills the serving worker at ``--worker-kill-rate`` per
+    request.  Every kill must be absorbed by the respawn + re-drive
+    ladder: the completion guarantee is zero lost requests.
+    """
+    from repro.errors import ServingError
+    from repro.runtime.chaos import ChaosPolicy
+    from repro.serving.pool import Client, CrossbarPool
+
+    rate = args.worker_kill_rate
+    grid = [(w, level) for w in workloads for level in levels]
+    # Repeat the grid until the arm sees >= 8 requests: enough traffic
+    # that a 10-50% kill rate deterministically lands some kills.
+    repeats = max(1, -(-8 // len(grid)))
+    pool = CrossbarPool(
+        shards=2,
+        tile_elements=tile,
+        seed=seed,
+        chaos_policy=ChaosPolicy(
+            transient_rate=0.0, latency_rate=0.0, corrupt_rate=0.0,
+            worker_kill_rate=rate, seed=seed,
+        ),
+        runtime="subprocess",
+    )
+    statuses: dict[str, int] = {}
+    lost = 0
+    with pool:
+        client = Client(pool, tenant="chaos-kill")
+        ids = [
+            client.submit(workload, relax_bits=level, dataset_bytes=1 << 20)
+            for _ in range(repeats)
+            for workload, level in grid
+        ]
+        for request_id in ids:
+            try:
+                result = client.result(request_id, timeout=120.0)
+                statuses[result.status] = statuses.get(result.status, 0) + 1
+            except ServingError:
+                lost += 1
+        lifecycle = pool.runtime.lifecycle()
+        kills = sum(
+            shard.chaos.injected.get("worker_kill", 0)
+            for shard in pool.shards
+            if shard.chaos is not None
+        )
+    print(
+        f"worker-kill arm: {len(ids)} request(s) through a 2-shard "
+        f"subprocess pool at kill rate {rate:.0%}"
+    )
+    print(
+        f"  kills injected={kills}  workers spawned={lifecycle['spawned']} "
+        f"deaths={lifecycle['deaths']} respawns={lifecycle['respawns']} "
+        f"re-driven={lifecycle['redriven']}"
+    )
+    print(f"  terminal statuses: {dict(sorted(statuses.items()))}")
+    if lost:
+        print(f"LOST REQUESTS: {lost} — crash recovery failed its "
+              "completion guarantee")
+        return 1
+    print(f"  all {len(ids)} requests terminal exactly once — zero lost")
     return 0
 
 
@@ -442,7 +532,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving.scheduler import ServingConfig
 
     if args.quick:
-        return quick_selftest()
+        return quick_selftest(runtime=args.runtime)
     config = ServingConfig(
         max_batch_size=args.batch_size,
         max_wait_s=args.max_wait,
@@ -453,16 +543,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         serving_config=config,
         tile_elements=args.tile,
         seed=args.seed,
+        runtime=args.runtime,
     )
+
+    def graceful_drain():  # pragma: no cover - signal path
+        # SIGTERM/SIGINT: close admission first (POST /submit answers 503
+        # with Retry-After), flush everything already accepted, and only
+        # then let the listener shut down.  The pool context exit joins
+        # (or terminates) the workers afterwards.
+        pool.begin_drain()
+        print("drain: admission closed; flushing in-flight requests")
+        if pool.wait_drained(timeout=args.drain_timeout):
+            print("drain: all accepted requests terminal")
+        else:
+            print(f"drain: timeout after {args.drain_timeout:.0f}s; "
+                  "forcing shutdown")
+
     with pool:
         server = build_server(pool, host=args.host, port=args.port)
         with server:
             print(
-                f"serving {args.shards} shard(s) at {server.url} "
-                "(POST /submit, GET /result/<id>, /healthz, /stats, "
-                "/metrics; Ctrl-C to stop)"
+                f"serving {args.shards} shard(s) [{args.runtime} runtime] "
+                f"at {server.url} (POST /submit, GET /result/<id>, "
+                "/healthz, /stats, /metrics; Ctrl-C to stop)"
             )
-            server.serve_forever(install_signal_handlers=True)
+            server.serve_forever(
+                install_signal_handlers=True, on_signal=graceful_drain
+            )
     return 0
 
 

@@ -124,4 +124,42 @@ class AdmissionRejectedError(ServingError):
 
 class ShardUnavailableError(ServingError):
     """No healthy shard can take traffic: every shard's circuit breaker is
-    open (or the pool was stopped), so a request cannot be dispatched."""
+    open, the pool was stopped, or the pool is draining for shutdown.
+    ``retry_after_s`` — when set — is the client's suggested resubmission
+    delay (the frontend turns it into a ``Retry-After`` header)."""
+
+    def __init__(
+        self, message: str, retry_after_s: float | None = None
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_s = (
+            None if retry_after_s is None else float(retry_after_s)
+        )
+
+
+class ProtocolError(ServingError):
+    """The shard-runtime frame protocol was violated: a torn or truncated
+    frame, an oversized frame beyond the negotiated ceiling, a frame body
+    that is not valid JSON, or a payload that is not a JSON object.  A
+    protocol error on a live stream is unrecoverable for that stream —
+    framing is lost — so the supervisor treats it as a worker death."""
+
+
+class WorkerCrashedError(ServingError):
+    """A subprocess shard worker died or wedged mid-request: the process
+    exited (segfault, SIGKILL, OOM), its pipe hit EOF/BrokenPipe, or it
+    hung past the hang deadline and was killed.  The runtime normalises
+    every raw ``BrokenPipeError``/``EOFError``/timeout escape into this
+    type, then respawns the worker and re-drives the in-flight request."""
+
+    def __init__(
+        self,
+        message: str,
+        shard: int = -1,
+        pid: int | None = None,
+        reason: str = "crashed",
+    ) -> None:
+        super().__init__(message)
+        self.shard = int(shard)
+        self.pid = pid
+        self.reason = reason

@@ -47,6 +47,10 @@ __all__ = [
     "record_served",
     "record_shard_health",
     "record_supervision_event",
+    "record_worker_death",
+    "record_worker_redrive",
+    "record_worker_respawn",
+    "record_worker_spawn",
     "set_build_info",
     "set_queue_depth",
 ]
@@ -218,6 +222,26 @@ class _Instruments:
         self.serving_reroutes = registry.counter(
             "repro_serving_reroutes_total",
             "Requests pushed back to the queue off an unhealthy shard.",
+        )
+        self.worker_spawns = registry.counter(
+            "repro_serving_worker_spawns_total",
+            "Shard worker processes spawned (initial starts and respawns).",
+            ("shard",),
+        )
+        self.worker_deaths = registry.counter(
+            "repro_serving_worker_deaths_total",
+            "Shard worker processes that died, by detected reason.",
+            ("shard", "reason"),
+        )
+        self.worker_respawns = registry.counter(
+            "repro_serving_worker_respawns_total",
+            "Shard worker processes restarted after a death.",
+            ("shard",),
+        )
+        self.worker_redrives = registry.counter(
+            "repro_serving_worker_redrives_total",
+            "In-flight requests re-driven after their worker died.",
+            ("shard",),
         )
         self.request_duration = registry.histogram(
             "repro_request_duration_seconds",
@@ -443,6 +467,34 @@ def record_reroute(requests: int) -> None:
     inst = _instruments()
     if inst is not None and requests:
         inst.serving_reroutes.inc(requests)
+
+
+def record_worker_spawn(shard: int) -> None:
+    """Count one shard worker process spawn."""
+    inst = _instruments()
+    if inst is not None:
+        inst.worker_spawns.labels(shard=shard).inc()
+
+
+def record_worker_death(shard: int, reason: str = "crashed") -> None:
+    """Count one shard worker death (``crashed``/``hang``/``protocol``)."""
+    inst = _instruments()
+    if inst is not None:
+        inst.worker_deaths.labels(shard=shard, reason=reason).inc()
+
+
+def record_worker_respawn(shard: int) -> None:
+    """Count one worker restart after a death."""
+    inst = _instruments()
+    if inst is not None:
+        inst.worker_respawns.labels(shard=shard).inc()
+
+
+def record_worker_redrive(shard: int) -> None:
+    """Count one in-flight request re-driven after its worker died."""
+    inst = _instruments()
+    if inst is not None:
+        inst.worker_redrives.labels(shard=shard).inc()
 
 
 def record_request_duration(seconds: float, trace_id: str | None = None) -> None:

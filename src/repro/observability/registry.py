@@ -43,12 +43,15 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "active_registry",
+    "apply_counter_deltas",
+    "counter_deltas",
     "default_registry",
     "disable",
     "enable",
     "enabled",
     "exponential_buckets",
     "set_default_registry",
+    "snapshot_counters",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_ENERGY_BUCKETS",
 ]
@@ -418,3 +421,84 @@ def enabled() -> bool:
 def active_registry() -> MetricsRegistry | None:
     """The default registry, or ``None`` while observability is disabled."""
     return _default if _enabled else None
+
+
+# --- cross-process counter forwarding ----------------------------------------
+#
+# Subprocess shard workers carry their own default registry; its counter
+# increments would vanish with the process.  The worker snapshots its
+# counters around each request, ships the per-series deltas in the result
+# frame, and the supervisor folds them into the parent registry — one
+# scrape still answers for the whole pool.  Only counters forward: gauges
+# are point-in-time (the parent owns shard health), and histograms would
+# need full bucket vectors for marginal value here.
+
+def snapshot_counters(registry: MetricsRegistry) -> dict:
+    """Counter series values keyed by ``(name, label-items tuple)``."""
+    snapshot: dict = {}
+    for family in registry.families():
+        if family.kind != "counter":
+            continue
+        for labels, child in family.samples():
+            snapshot[(family.name, tuple(labels.items()))] = child.value
+    return snapshot
+
+
+def counter_deltas(registry: MetricsRegistry, since: dict) -> list[dict]:
+    """JSON-able counter increments since a :func:`snapshot_counters` call.
+
+    Each entry is ``{"name", "help", "labels", "delta"}`` with ``labels``
+    in the family's label-name order, so :func:`apply_counter_deltas` can
+    re-register the family idempotently on the receiving side.
+    """
+    deltas: list[dict] = []
+    for family in registry.families():
+        if family.kind != "counter":
+            continue
+        for labels, child in family.samples():
+            before = since.get((family.name, tuple(labels.items())), 0.0)
+            delta = child.value - before
+            if delta > 0:
+                deltas.append(
+                    {
+                        "name": family.name,
+                        "help": family.help,
+                        "labels": labels,
+                        "delta": delta,
+                    }
+                )
+    return deltas
+
+
+def apply_counter_deltas(
+    registry: MetricsRegistry, deltas: list[dict]
+) -> int:
+    """Fold shipped counter deltas into ``registry``; returns how many
+    entries were applied.  Malformed entries are skipped — the frames they
+    ride in are data from another process, not trusted structure."""
+    applied = 0
+    for entry in deltas or ():
+        if not isinstance(entry, dict):
+            continue
+        name = entry.get("name")
+        labels = entry.get("labels")
+        delta = entry.get("delta")
+        if (
+            not isinstance(name, str)
+            or not isinstance(labels, dict)
+            or not isinstance(delta, (int, float))
+            or delta < 0
+        ):
+            continue
+        try:
+            family = registry.counter(
+                name, str(entry.get("help", "")), tuple(labels.keys())
+            )
+            if labels:
+                family.labels(**labels).inc(delta)
+            else:
+                family.inc(delta)
+        except ObservabilityError:
+            continue  # schema clash with a local family: drop, don't crash
+        applied += 1
+    return applied

@@ -39,6 +39,7 @@ from typing import Callable, Iterator
 from repro.errors import TracingError
 
 __all__ = [
+    "BufferedTraceContext",
     "TraceContext",
     "TraceEvent",
     "TraceRecord",
@@ -46,6 +47,7 @@ __all__ = [
     "current_trace",
     "default_trace_store",
     "format_timeline",
+    "replay_events",
     "set_default_trace_store",
     "trace_event",
     "use_trace",
@@ -290,6 +292,84 @@ class TraceContext:
             parent=self.span_id,
         )
         return ctx
+
+
+class BufferedTraceContext:
+    """A store-less trace context that buffers events for later shipping.
+
+    Subprocess shard workers have no access to the parent's
+    :class:`TraceStore`, but the layers below them (supervisor, executor,
+    campaign) emit through the ambient :func:`trace_event` API, which only
+    needs an object with ``.event(layer, kind, detail, **attrs)``.  A
+    worker installs one of these via :func:`use_trace`, runs the request,
+    then :meth:`drain`-s the buffer into JSON-able dicts that ride the
+    result frame back to the supervisor, where :func:`replay_events`
+    lands them on the request's real trace.  ``max_events`` bounds the
+    buffer the same way :class:`TraceStore` bounds a record's event list.
+    """
+
+    def __init__(self, trace_id: str = "", max_events: int = 512) -> None:
+        if max_events < 1:
+            raise TracingError(f"max_events must be positive: {max_events}")
+        self.trace_id = trace_id
+        self.max_events = max_events
+        self.dropped_events = 0
+        self._events: list[dict] = []
+
+    def event(self, layer: str, kind: str, detail: str = "", **attrs) -> None:
+        if len(self._events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        entry: dict = {"layer": layer, "kind": kind}
+        if detail:
+            entry["detail"] = detail
+        if attrs:
+            entry["attrs"] = attrs
+        self._events.append(entry)
+
+    def child(self, layer: str) -> "BufferedTraceContext":
+        """Buffered contexts are flat: sub-spans share the one buffer."""
+        self.event(layer, "span_start")
+        return self
+
+    def drain(self) -> list[dict]:
+        """Take the buffered events (the buffer resets to empty)."""
+        events, self._events = self._events, []
+        return events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+def replay_events(trace, events: list[dict]) -> int:
+    """Land drained worker events on a real :class:`TraceContext`.
+
+    Returns the number of events replayed; a ``None`` trace or malformed
+    entries are skipped (worker frames are data, not trusted structure).
+    """
+    if trace is None or not events:
+        return 0
+    replayed = 0
+    for entry in events:
+        if not isinstance(entry, dict):
+            continue
+        layer = entry.get("layer")
+        kind = entry.get("kind")
+        if not isinstance(layer, str) or not isinstance(kind, str):
+            continue
+        attrs = entry.get("attrs")
+        if not isinstance(attrs, dict):
+            attrs = {}
+        # Attribute keys shadowing positional parameter names would raise
+        # a duplicate-kwarg TypeError; drop them rather than lose the event.
+        attrs = {
+            key: value
+            for key, value in attrs.items()
+            if isinstance(key, str) and key not in ("layer", "kind", "detail")
+        }
+        trace.event(layer, kind, str(entry.get("detail", "")), **attrs)
+        replayed += 1
+    return replayed
 
 
 # -- ambient propagation ------------------------------------------------------

@@ -63,6 +63,13 @@ class ChaosPolicy:
     latency_rate: float = 0.0
     latency_spike_s: float = 30.0
     corrupt_rate: float = 0.0
+    #: Probability that a subprocess shard worker is SIGKILL'd mid-request.
+    #: Drawn from its own stream ("worker-kill") with its own call counter,
+    #: so enabling it never perturbs the transient/latency/corrupt sequence
+    #: of an existing seed — and it is excluded from the one-fault-per-call
+    #: sum constraint for the same reason (it is a process-level fault, not
+    #: a call-level one).
+    worker_kill_rate: float = 0.0
     seed: int = 2017
 
     def __post_init__(self) -> None:
@@ -73,6 +80,8 @@ class ChaosPolicy:
             raise ConfigurationError(
                 "chaos rates must sum to at most 1 (one fault per call)"
             )
+        if not 0.0 <= self.worker_kill_rate <= 1.0:
+            raise ConfigurationError("worker_kill_rate must be in [0, 1]")
         if self.latency_spike_s < 0:
             raise ConfigurationError("latency_spike_s must be non-negative")
         if self.seed < 0:
@@ -93,7 +102,10 @@ class ChaosInjector:
         self.policy = policy
         self.clock = clock
         self._calls: dict[str, int] = {}
-        self.injected = {"transient": 0, "latency": 0, "corrupt": 0}
+        self._kill_calls: dict[str, int] = {}
+        self.injected = {
+            "transient": 0, "latency": 0, "corrupt": 0, "worker_kill": 0,
+        }
         # The serving pool gives every shard a private injector, but the
         # call/injection counters are still lock-guarded so a single
         # injector shared across threads keeps exact counts and each
@@ -141,6 +153,29 @@ class ChaosInjector:
             return fn()
 
         return chaotic
+
+    def should_kill_worker(self, key: str) -> bool:
+        """Deterministic draw for the ``worker_kill`` fault: should the
+        subprocess worker executing this dispatch be SIGKILL'd mid-request?
+
+        Uses its own stream namespace (``worker-kill``) and per-key call
+        counter, fully decoupled from :meth:`wrap`'s draws, so turning the
+        rate on (or off) never changes which transient/latency/corrupt
+        faults an existing seed injects.
+        """
+        if self.policy.worker_kill_rate <= 0.0:
+            return False
+        with self._lock:
+            index = self._kill_calls.get(key, 0)
+            self._kill_calls[key] = index + 1
+        draw = float(
+            seeded_stream(self.policy.seed, "worker-kill", key, index).random()
+        )
+        if draw < self.policy.worker_kill_rate:
+            with self._lock:
+                self.injected["worker_kill"] += 1
+            return True
+        return False
 
     @property
     def total_injected(self) -> int:

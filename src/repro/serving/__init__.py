@@ -10,6 +10,10 @@ is the tier that turns the single-process reproduction into a service:
 - :mod:`repro.serving.pool` — the :class:`CrossbarPool`: N shards, each a
   private executor/harness wrapped in the PR-2 supervisor, pulling
   batches so a breaker-tripped shard sheds traffic to healthy ones;
+- :mod:`repro.serving.runtime` — pluggable execution mechanics per pool:
+  inline (synchronous), thread (daemon thread per shard) or subprocess
+  (process per shard behind a frame protocol — GIL escape, worker
+  supervision, crash recovery with exactly-once re-drive);
 - :mod:`repro.serving.http` — the shared stdlib HTTP server (graceful
   shutdown, bounded bodies) the metrics endpoint reuses;
 - :mod:`repro.serving.frontend` — the JSON API (``/submit``,
@@ -21,6 +25,12 @@ See ``docs/serving.md`` for the architecture and tuning guide.
 
 from repro.serving.http import JsonHttpServer
 from repro.serving.pool import Client, CrossbarPool, PoolShard
+from repro.serving.runtime import (
+    InlineRuntime,
+    ShardRuntime,
+    SubprocessRuntime,
+    ThreadRuntime,
+)
 from repro.serving.scheduler import (
     BatchingScheduler,
     ResultStore,
@@ -33,10 +43,14 @@ __all__ = [
     "BatchingScheduler",
     "Client",
     "CrossbarPool",
+    "InlineRuntime",
     "JsonHttpServer",
     "PoolShard",
     "ResultStore",
     "ServeRequest",
     "ServeResult",
     "ServingConfig",
+    "ShardRuntime",
+    "SubprocessRuntime",
+    "ThreadRuntime",
 ]

@@ -84,6 +84,14 @@ def _submit_handler(pool: CrossbarPool):
                 {"Retry-After": f"{exc.retry_after_s:.3f}"},
             )
         except ShardUnavailableError as exc:
+            # A draining pool says when to come back; a breaker-dark pool
+            # has no estimate, so no Retry-After header in that case.
+            if exc.retry_after_s is not None:
+                return (
+                    503,
+                    {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                    {"Retry-After": f"{exc.retry_after_s:.3f}"},
+                )
             return 503, {"error": str(exc)}
         except (ServingError, ValueError, TypeError) as exc:
             return 400, {"error": str(exc)}
@@ -210,14 +218,18 @@ def _http_json(url: str, payload: dict | None = None, timeout: float = 10.0):
         return exc.code, json.loads(exc.read() or b"{}")
 
 
-def quick_selftest(shards: int = 2, workload: str = "Robert") -> int:
+def quick_selftest(
+    shards: int = 2, workload: str = "Robert", runtime: str = "thread"
+) -> int:
     """Boot a real server, round-trip one workload, assert correctness.
 
     Returns a process exit code: 0 when the served point matches a direct
     (in-process) pricing of the same request, non-zero otherwise.  This is
-    the CI smoke behind ``repro serve --quick``.
+    the CI smoke behind ``repro serve --quick`` — run per runtime
+    (``--runtime subprocess`` smokes the process-isolated path, worker
+    spawn and trace/metric forwarding included).
     """
-    pool = CrossbarPool(shards=shards, tile_elements=1 << 9)
+    pool = CrossbarPool(shards=shards, tile_elements=1 << 9, runtime=runtime)
     server = build_server(pool)
     failures: list[str] = []
     with pool, server:

@@ -191,17 +191,31 @@ class JsonHttpServer:
         self._thread.start()
         return self
 
-    def serve_forever(self, install_signal_handlers: bool = True) -> None:
+    def serve_forever(
+        self,
+        install_signal_handlers: bool = True,
+        on_signal: Callable[[], None] | None = None,
+    ) -> None:
         """Serve in the foreground until SIGINT/SIGTERM or Ctrl-C.
 
-        ``shutdown()`` must run off the serving thread, so the signal
-        handler hands it to a helper thread; previous handlers are
-        restored on exit.
+        ``on_signal`` — when given — runs *before* the listener shuts
+        down: the graceful-drain hook (``repro serve`` stops admission
+        and flushes in-flight batches there).  ``shutdown()`` must run
+        off the serving thread, so the signal handler hands both to a
+        helper thread; previous handlers are restored on exit.
         """
         previous = {}
 
+        def drain_then_shutdown():  # pragma: no cover - signal path
+            if on_signal is not None:
+                try:
+                    on_signal()
+                except Exception:
+                    pass  # drain best-effort; the listener must still close
+            self._server.shutdown()
+
         def request_shutdown(_signum, _frame):  # pragma: no cover - signals
-            threading.Thread(target=self._server.shutdown).start()
+            threading.Thread(target=drain_then_shutdown).start()
 
         if install_signal_handlers:
             for signum in (signal.SIGINT, signal.SIGTERM):

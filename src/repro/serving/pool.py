@@ -19,7 +19,16 @@ back to the *front* of the queue (bounded by ``max_reroutes``, after
 which the request executes anyway and lets the rescue ladder finish it).
 Mid-cooldown the breaker half-opens and the shard probes its way back.
 
-Construction is cheap; threads start on :meth:`start` (or lazily on the
+*How* shards execute is pluggable since PR 6: the pool owns serving
+policy (admission, batching, rescue ladder, results, health) and
+delegates execution mechanics to a
+:class:`~repro.serving.runtime.ShardRuntime` — ``runtime="thread"``
+(daemon thread per shard, the classic behaviour), ``"inline"``
+(synchronous, on the submitting thread) or ``"subprocess"`` (process per
+shard: GIL escape, crash containment, worker supervision with respawn
+and exactly-once re-drive).  See :mod:`repro.serving.runtime`.
+
+Construction is cheap; workers start on :meth:`start` (or lazily on the
 first :meth:`submit`).  The pool is also the in-process service facade:
 ``submit``/``result``/``stats``/``healthz`` are exactly what the HTTP
 frontend exposes, and :class:`Client` wraps them for tests and load
@@ -47,6 +56,7 @@ from repro.quality.qos import QoSPolicy
 from repro.runtime.campaign import run_point
 from repro.runtime.comparison import ComparisonHarness
 from repro.runtime.supervisor import CircuitBreaker, RetryPolicy, Supervisor
+from repro.serving.runtime import ShardRuntime, resolve_runtime
 from repro.serving.scheduler import (
     BatchingScheduler,
     ResultStore,
@@ -113,6 +123,7 @@ class CrossbarPool:
         results: ResultStore | None = None,
         trace_store: TraceStore | None = None,
         slo_policy: SLOPolicy | None = None,
+        runtime: "str | ShardRuntime" = "thread",
     ) -> None:
         if shards < 1:
             raise ServingError("pool needs at least one shard")
@@ -135,6 +146,11 @@ class CrossbarPool:
             max_reroutes if max_reroutes is not None else max(1, shards - 1)
         )
         self.idle_poll_s = idle_poll_s
+        # Construction inputs, kept verbatim: the subprocess runtime
+        # stages each worker's environment from these.
+        self.apim_config = apim_config
+        self.tile_elements = tile_elements
+        self.seed = seed
         self.shards: list[PoolShard] = []
         for index in range(shards):
             harness = ComparisonHarness(
@@ -174,10 +190,10 @@ class CrossbarPool:
                     chaos=chaos,
                 )
             )
-        self._threads: list[threading.Thread] = []
-        self._stop = threading.Event()
+        self.runtime = resolve_runtime(runtime).bind(self)
         self._lifecycle = threading.Lock()
         self._started = False
+        self._draining = False
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -190,23 +206,15 @@ class CrossbarPool:
         return self._started
 
     def start(self) -> "CrossbarPool":
-        """Spawn one worker thread per shard (idempotent-safe via
+        """Start the shard runtime (idempotent-safe via
         :meth:`ensure_started`; calling ``start`` twice is an error)."""
         with self._lifecycle:
             if self._started:
                 raise ServingError("pool already started")
-            self._stop.clear()
+            self._draining = False
             for shard in self.shards:
                 record_shard_health(shard.index, True)
-                thread = threading.Thread(
-                    target=self._worker,
-                    args=(shard,),
-                    name=f"crossbar-{shard.key}",
-                    daemon=True,
-                )
-                self._threads.append(thread)
-                thread.start()
-                self.scheduler.register_worker()
+            self.runtime.start()
             self._started = True
         return self
 
@@ -228,20 +236,19 @@ class CrossbarPool:
         with self._lifecycle:
             if not self._started:
                 return
+            self._draining = True
             self.scheduler.close()
             if drain:
                 deadline = time.monotonic() + timeout
                 while (
                     self.scheduler.depth() > 0 or self.results.pending > 0
                 ) and time.monotonic() < deadline:
+                    # The inline runtime has no worker of its own: pump
+                    # any leftover queue from here instead of spinning.
+                    self.runtime.after_submit()
                     time.sleep(0.01)
-            self._stop.set()
-            for thread in self._threads:
-                thread.join(timeout=timeout)
-            self._threads.clear()
+            self.runtime.stop(drain=drain, timeout=timeout)
             self._started = False
-            for shard in self.shards:
-                self.scheduler.unregister_worker()
             if not drain:
                 while True:
                     batch = self.scheduler.next_batch(timeout=0.0)
@@ -251,6 +258,27 @@ class CrossbarPool:
                         self.results.complete(
                             self._aborted(request, "pool stopped")
                         )
+
+    def begin_drain(self) -> None:
+        """Stop admission without stopping execution: ``submit`` starts
+        refusing with a retryable 503 while queued and in-flight requests
+        run to completion.  The graceful-shutdown entry point — signal
+        handlers call this first, then :meth:`stop` once drained."""
+        self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def wait_drained(self, timeout: float = 30.0) -> bool:
+        """Block until nothing is queued or in flight (True on success)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.scheduler.depth() == 0 and self.results.pending == 0:
+                return True
+            self.runtime.after_submit()  # inline runtimes self-drain
+            time.sleep(0.01)
+        return self.scheduler.depth() == 0 and self.results.pending == 0
 
     def __enter__(self) -> "CrossbarPool":
         return self.ensure_started()
@@ -283,6 +311,11 @@ class CrossbarPool:
             raise ServingError(f"dataset_bytes must be positive: {dataset_bytes}")
         if deadline_s is not None and deadline_s <= 0:
             raise ServingError(f"deadline_s must be positive: {deadline_s}")
+        if self._draining:
+            raise ShardUnavailableError(
+                "pool is draining for shutdown; resubmit elsewhere",
+                retry_after_s=self.serving_config.retry_after_s,
+            )
         self.ensure_started()
         trace = self.traces.new_trace(
             workload=workload, tenant=tenant, relax_bits=int(relax_bits)
@@ -325,6 +358,7 @@ class CrossbarPool:
             # Not admitted: the id must not linger as a pending ghost.
             self.results.discard(request.id)
             raise
+        self.runtime.after_submit()
         return request.id
 
     def trace_id_for(self, request_id: str) -> str | None:
@@ -360,6 +394,9 @@ class CrossbarPool:
             "shards": len(self.shards),
             "healthy_shards": healthy,
             "started": self._started,
+            "draining": self._draining,
+            "runtime": self.runtime.name,
+            "workers": self.runtime.lifecycle(),
             "slo": {
                 "verdict": slo["verdict"],
                 "short_burn": slo["short_burn"],
@@ -369,6 +406,7 @@ class CrossbarPool:
 
     def stats(self) -> dict:
         return {
+            "runtime": self.runtime.stats(),
             "scheduler": self.scheduler.stats(),
             "results": {
                 "pending": self.results.pending,
@@ -410,20 +448,8 @@ class CrossbarPool:
     def _expired(self, request: ServeRequest, now: float) -> bool:
         return request.deadline_at is not None and now >= request.deadline_at
 
-    def _worker(self, shard: PoolShard) -> None:
-        while not self._stop.is_set():
-            if not shard.healthy:
-                record_shard_health(shard.index, False)
-                time.sleep(min(self.idle_poll_s, 0.05))
-                continue
-            record_shard_health(shard.index, True)
-            batch = self.scheduler.next_batch(timeout=self.idle_poll_s)
-            if not batch:
-                continue
-            self._run_batch(shard, batch)
-
     def _run_batch(
-        self, shard: PoolShard, batch: list[ServeRequest]
+        self, shard: PoolShard, batch: list[ServeRequest], execute=None
     ) -> None:
         for position, request in enumerate(batch):
             if not shard.healthy and request.reroutes < self.max_reroutes:
@@ -438,10 +464,39 @@ class CrossbarPool:
                 self.scheduler.requeue(rerouted)
                 record_reroute(len(rerouted))
                 return
-            self._run_request(shard, request, len(batch))
+            self._run_request(shard, request, len(batch), execute=execute)
+
+    def _execute_local(
+        self, shard: PoolShard, request: ServeRequest
+    ) -> tuple:
+        """In-process execution of one request through the rescue ladder.
+
+        The default executor — and the subprocess runtime's last resort
+        once a request's worker re-drive budget is spent.  Returns the
+        executor contract tuple ``(point, status, attempts, error)``.
+        """
+        with use_trace(request.trace):
+            point = run_point(
+                shard.workload(request.workload),
+                request.relax_bits,
+                float(request.dataset_bytes),
+                shard.harness,
+                supervisor=shard.supervisor,
+                chaos=shard.chaos,
+                qos=self.qos,
+                max_relax_bits=self.max_relax_bits,
+                degradation_step=self.degradation_step,
+                key_prefix=f"{shard.key}/",
+                trace=request.trace,
+            )
+        return point, point.status, point.attempts, None
 
     def _run_request(
-        self, shard: PoolShard, request: ServeRequest, batch_size: int
+        self,
+        shard: PoolShard,
+        request: ServeRequest,
+        batch_size: int,
+        execute=None,
     ) -> None:
         now = time.monotonic()
         queue_wait = max(0.0, now - request.submitted_at)
@@ -474,24 +529,10 @@ class CrossbarPool:
         )
         start = time.monotonic()
         try:
-            with use_trace(request.trace):
-                point = run_point(
-                    shard.workload(request.workload),
-                    request.relax_bits,
-                    float(request.dataset_bytes),
-                    shard.harness,
-                    supervisor=shard.supervisor,
-                    chaos=shard.chaos,
-                    qos=self.qos,
-                    max_relax_bits=self.max_relax_bits,
-                    degradation_step=self.degradation_step,
-                    key_prefix=f"{shard.key}/",
-                    trace=request.trace,
-                )
-            status = point.status
-            attempts = point.attempts
-            error = None
-        except Exception as exc:  # run_point's contract says "never";
+            point, status, attempts, error = (execute or self._execute_local)(
+                shard, request
+            )
+        except Exception as exc:  # the executor contract says "never";
             point = None  # this is the belt-and-braces terminal path.
             status = "error"
             attempts = 0

@@ -1,0 +1,50 @@
+"""Pluggable shard runtimes for :class:`~repro.serving.pool.CrossbarPool`.
+
+``CrossbarPool(runtime="inline" | "thread" | "subprocess")`` — or pass a
+:class:`ShardRuntime` instance for custom tuning.  See
+:mod:`repro.serving.runtime.base` for the contract and the selection
+guidance, :mod:`repro.serving.runtime.protocol` for the wire format the
+subprocess runtime speaks.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ServingError
+from repro.serving.runtime.base import ShardRuntime
+from repro.serving.runtime.inline import InlineRuntime
+from repro.serving.runtime.subprocess import SubprocessRuntime, WorkerHandle
+from repro.serving.runtime.thread import ThreadRuntime
+
+__all__ = [
+    "RUNTIMES",
+    "InlineRuntime",
+    "ShardRuntime",
+    "SubprocessRuntime",
+    "ThreadRuntime",
+    "WorkerHandle",
+    "resolve_runtime",
+]
+
+#: Selection keys for ``CrossbarPool(runtime=...)`` / ``--runtime``.
+RUNTIMES = {
+    "inline": InlineRuntime,
+    "thread": ThreadRuntime,
+    "subprocess": SubprocessRuntime,
+}
+
+
+def resolve_runtime(runtime) -> ShardRuntime:
+    """A :class:`ShardRuntime` instance from a name or instance."""
+    if isinstance(runtime, ShardRuntime):
+        return runtime
+    if isinstance(runtime, str):
+        cls = RUNTIMES.get(runtime)
+        if cls is None:
+            raise ServingError(
+                f"unknown runtime {runtime!r}; choose from "
+                f"{sorted(RUNTIMES)} or pass a ShardRuntime instance"
+            )
+        return cls()
+    raise ServingError(
+        f"runtime must be a name or ShardRuntime, got {type(runtime).__name__}"
+    )

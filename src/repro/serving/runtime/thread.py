@@ -1,0 +1,64 @@
+"""One daemon thread per shard: the classic in-process runtime."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.observability.instruments import record_shard_health
+from repro.serving.runtime.base import ShardRuntime
+
+__all__ = ["ThreadRuntime"]
+
+
+class ThreadRuntime(ShardRuntime):
+    """The pre-runtime :class:`CrossbarPool` behaviour, factored out.
+
+    Each shard gets a daemon thread pulling coalesced batches from the
+    scheduler and running them through the pool's rescue ladder.  Shards
+    share the GIL, so NumPy-heavy loads do not scale with shard count —
+    that is :class:`~repro.serving.runtime.subprocess.SubprocessRuntime`'s
+    job — but threads are free to start and right for small pools.
+    """
+
+    name = "thread"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+
+    def start(self) -> None:
+        pool = self.pool
+        self._stop.clear()
+        for shard in pool.shards:
+            thread = threading.Thread(
+                target=self._drive,
+                args=(shard,),
+                name=f"crossbar-{shard.key}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+            pool.scheduler.register_worker()
+
+    def _drive(self, shard) -> None:
+        pool = self.pool
+        while not self._stop.is_set():
+            if not shard.healthy:
+                record_shard_health(shard.index, False)
+                time.sleep(min(pool.idle_poll_s, 0.05))
+                continue
+            record_shard_health(shard.index, True)
+            batch = pool.scheduler.next_batch(timeout=pool.idle_poll_s)
+            if not batch:
+                continue
+            pool._run_batch(shard, batch)
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads.clear()
+        for _ in self.pool.shards:
+            self.pool.scheduler.unregister_worker()

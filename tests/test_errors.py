@@ -25,6 +25,7 @@ from repro.errors import (
     DeviceError,
     FaultError,
     KernelExecutionError,
+    ProtocolError,
     QoSError,
     RecoveryError,
     ReproError,
@@ -33,6 +34,7 @@ from repro.errors import (
     SLOError,
     TracingError,
     TransientError,
+    WorkerCrashedError,
     WorkloadError,
 )
 
@@ -47,6 +49,7 @@ ALL_ERRORS = [
     DeviceError,
     FaultError,
     KernelExecutionError,
+    ProtocolError,
     QoSError,
     RecoveryError,
     ServingError,
@@ -54,6 +57,7 @@ ALL_ERRORS = [
     SLOError,
     TracingError,
     TransientError,
+    WorkerCrashedError,
     WorkloadError,
 ]
 
@@ -135,9 +139,94 @@ class TestHierarchy:
 
     def test_serving_errors_subclass_serving_error(self):
         """One ``except ServingError`` covers the whole serving surface."""
-        for exc in (AdmissionRejectedError, ShardUnavailableError):
+        for exc in (AdmissionRejectedError, ShardUnavailableError,
+                    ProtocolError, WorkerCrashedError):
             assert issubclass(exc, ServingError)
         assert not issubclass(ServingError, WorkloadError)
+
+    def test_worker_crashed_error_carries_the_post_mortem(self):
+        """The supervision ladder decides respawn/backoff from the crash
+        report, so shard, pid and cause of death must ride the error."""
+        exc = WorkerCrashedError("gone")
+        assert (exc.shard, exc.pid, exc.reason) == (-1, None, "crashed")
+        exc = WorkerCrashedError(
+            "hung", shard=3, pid=4242, reason="hang"
+        )
+        assert (exc.shard, exc.pid, exc.reason) == (3, 4242, "hang")
+        with pytest.raises(ServingError):
+            raise exc
+
+    def test_shard_unavailable_retry_after_is_optional(self):
+        """A draining pool tells clients when to come back; a
+        breaker-dark pool has no estimate (``None``)."""
+        assert ShardUnavailableError("dark").retry_after_s is None
+        exc = ShardUnavailableError("draining", retry_after_s=0.25)
+        assert exc.retry_after_s == 0.25
+
+    def test_worker_pipe_errors_are_normalised(self):
+        """A raw BrokenPipeError from a dead worker's stdin surfaces as
+        WorkerCrashedError (cause chained), never as the pipe error."""
+        import threading
+
+        from repro.serving.runtime.protocol import MAX_FRAME_BYTES
+        from repro.serving.runtime.subprocess import WorkerHandle
+
+        class DeadPipe:
+            def write(self, data):
+                raise BrokenPipeError("worker is gone")
+
+            def flush(self):
+                raise BrokenPipeError("worker is gone")
+
+        class DeadProcess:
+            pid = 4242
+            stdin = DeadPipe()
+
+            def poll(self):
+                return -9
+
+        handle = WorkerHandle.__new__(WorkerHandle)
+        handle.shard_index = 1
+        handle.max_frame_bytes = MAX_FRAME_BYTES
+        handle._lock = threading.Lock()
+        handle.process = DeadProcess()
+        with pytest.raises(WorkerCrashedError) as info:
+            handle.send({"type": "ping"})
+        assert isinstance(info.value.__cause__, BrokenPipeError)
+        assert info.value.reason == "exited"
+        assert info.value.pid == 4242
+
+    def test_worker_eof_is_normalised(self):
+        """Pipe EOF mid-conversation (the SIGKILL signature) surfaces as
+        WorkerCrashedError with reason ``exited`` — never a raw EOFError
+        or an indefinite hang."""
+        import os
+        import threading
+
+        from repro.serving.runtime.protocol import MAX_FRAME_BYTES
+        from repro.serving.runtime.subprocess import WorkerHandle
+
+        read_fd, write_fd = os.pipe()
+        os.close(write_fd)  # writer died: reads see EOF immediately
+
+        class GoneProcess:
+            pid = 777
+
+            def poll(self):
+                return -9
+
+        handle = WorkerHandle.__new__(WorkerHandle)
+        handle.shard_index = 0
+        handle.max_frame_bytes = MAX_FRAME_BYTES
+        handle._lock = threading.Lock()
+        handle.process = GoneProcess()
+        handle._fd = read_fd
+        try:
+            with pytest.raises(WorkerCrashedError) as info:
+                handle.recv(timeout=5.0)
+            assert info.value.reason == "exited"
+        finally:
+            os.close(read_fd)
 
     def test_admission_rejection_carries_retry_after(self):
         """The backpressure contract: a rejection tells the client when

@@ -86,13 +86,17 @@ class TestRoundTrip:
     def test_stats_and_healthz_shape(self, pool):
         stats = pool.stats()
         assert set(stats) == {
-            "scheduler", "results", "shards", "latency", "slo", "traces",
+            "runtime", "scheduler", "results", "shards", "latency", "slo",
+            "traces",
         }
         assert len(stats["shards"]) == 2
+        assert stats["runtime"]["name"] == "thread"
         assert set(stats["traces"]) == {"resident", "evicted", "spilled"}
         assert stats["slo"]["verdict"] in ("ok", "slow_burn", "fast_burn")
         health = pool.healthz()
         assert health["shards"] == 2
+        assert health["runtime"] == "thread"
+        assert health["draining"] is False
         assert health["status"] in ("ok", "degraded", "unhealthy", "fast_burn")
         assert set(health["slo"]) == {"verdict", "short_burn", "long_burn"}
 
