@@ -212,3 +212,64 @@ def test_worker_kill_recovery(benchmark, bench_rounds):
     # its data), so deaths may trail kills — but never exceed them plus
     # protocol/hang casualties, which this clean run should not have.
     assert lifecycle["deaths"] <= kills
+
+
+def test_server_kill_recovery(benchmark, bench_rounds, tmp_path):
+    """The durability arm: SIGKILL the journaled serving *process* itself.
+
+    Worker kills exercise the respawn ladder inside a living server; this
+    arm kills the whole server — scheduler, result store, every shard —
+    and restarts it on the same write-ahead journal.  The acceptance
+    contract is the exactly-once ledger: zero acknowledged requests lost
+    across the crash, zero duplicate terminal records in the journal, and
+    every replayed ``ok`` point bit-identical to direct in-process
+    pricing of the same request.
+    """
+    from repro.serving.crashtest import run_server_kill_test
+
+    REQUESTS = 12
+
+    def run_arm():
+        # run_server_kill_test makes a fresh subdirectory per call, so
+        # benchmark rounds never recover each other's journals.
+        return run_server_kill_test(
+            base_dir=str(tmp_path),
+            requests=REQUESTS,
+            tile=1 << 9,
+            seed=SEED,
+        )
+
+    summary = benchmark.pedantic(run_arm, rounds=bench_rounds, iterations=1)
+    recovery = summary["recovery"]
+    print()
+    print(
+        f"server-kill arm: {summary['acknowledged']}/{summary['submitted']} "
+        f"acknowledged, {summary['completed_before_kill']} complete at "
+        f"SIGKILL -> restored={recovery.get('restored', 0)}, "
+        f"replayed={recovery.get('replayed', 0)}, "
+        f"dropped={recovery.get('dropped', 0)}"
+    )
+    print(f"statuses: {summary['statuses']}")
+    # The crash was real and every submission was acknowledged durably.
+    assert summary["killed_hard"]
+    assert summary["acknowledged"] == REQUESTS
+    assert summary["rejected"] == 0
+    # Zero acknowledged requests lost: each one reaches exactly one
+    # terminal result after restart.
+    assert summary["lost"] == [], summary["lost"]
+    assert summary["terminal"] == REQUESTS
+    # The tripwire stayed silent: no request completed twice on disk.
+    assert summary["duplicate_completions"] == 0
+    # Recovery accounting is consistent: everything acknowledged was
+    # either restored from a completed record or re-admitted for replay.
+    assert recovery.get("restored", 0) + recovery.get("replayed", 0) >= (
+        REQUESTS
+    )
+    assert recovery.get("dropped", 0) == 0
+    # The restore path actually ran (at least one request completed
+    # before the kill, and came back from the journal, not recompute).
+    assert summary["completed_before_kill"] >= 1
+    assert recovery.get("restored", 0) >= 1
+    # Replay is bit-identical to direct pricing: determinism makes the
+    # crash invisible to clients.
+    assert summary["mismatched"] == [], summary["mismatched"]

@@ -29,6 +29,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -146,6 +147,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run a subprocess-pool arm that SIGKILLs live workers "
         "at this per-request rate and asserts zero lost requests",
     )
+    p.add_argument(
+        "--server-kill", action="store_true",
+        help="also SIGKILL a journaled serving *process* mid-load, "
+        "restart it on the same journal, and assert zero acknowledged "
+        "requests lost",
+    )
+    p.add_argument(
+        "--server-kill-requests", type=int, default=10,
+        help="acknowledged requests in flight when the server is killed",
+    )
 
     p = sub.add_parser(
         "metrics",
@@ -207,6 +218,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=30.0,
         help="seconds to flush in-flight requests after SIGTERM/SIGINT "
         "before forcing shutdown",
+    )
+    p.add_argument(
+        "--journal", nargs="?", const="", default=None, metavar="DIR",
+        help="write-ahead request journal directory: acknowledged "
+        "requests survive a server crash and replay on restart (with "
+        "--quick, DIR may be omitted to use a temporary directory)",
     )
     p.add_argument(
         "--quick", action="store_true",
@@ -371,9 +388,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
               "guarantee")
         return 1
     print(f"all {expected} points terminal in every sweep — zero lost")
+    code = 0
     if args.worker_kill_rate > 0.0:
-        return _chaos_worker_kill_arm(args, workloads, levels, tile, seed)
-    return 0
+        code = _chaos_worker_kill_arm(args, workloads, levels, tile, seed)
+    if code == 0 and args.server_kill:
+        code = _chaos_server_kill_arm(args, workloads, levels, tile, seed)
+    return code
 
 
 def _chaos_worker_kill_arm(
@@ -445,6 +465,68 @@ def _chaos_worker_kill_arm(
               "completion guarantee")
         return 1
     print(f"  all {len(ids)} requests terminal exactly once — zero lost")
+    return 0
+
+
+def _chaos_server_kill_arm(
+    args: argparse.Namespace,
+    workloads: list,
+    levels: list,
+    tile: int,
+    seed: int,
+) -> int:
+    """Whole-server chaos: SIGKILL a journaled serving process mid-load.
+
+    Boots ``repro serve --journal`` as a real subprocess, submits keyed
+    requests, SIGKILLs it with requests in flight, restarts it on the
+    same journal and polls every acknowledged id to a terminal result.
+    The exactly-once ledger must balance: zero acknowledged requests
+    lost, zero duplicate terminal records, and every ``ok`` point
+    bit-identical to direct in-process pricing.
+    """
+    from repro.serving.crashtest import run_server_kill_test
+
+    summary = run_server_kill_test(
+        requests=args.server_kill_requests,
+        tile=tile,
+        seed=seed,
+        workloads=tuple(workloads),
+        levels=tuple(levels),
+    )
+    recovery = summary["recovery"]
+    print(
+        f"server-kill arm: {summary['acknowledged']}/{summary['submitted']} "
+        f"request(s) acknowledged, {summary['completed_before_kill']} "
+        f"complete at SIGKILL"
+    )
+    print(
+        f"  recovery: restored={recovery.get('restored', 0)} "
+        f"replayed={recovery.get('replayed', 0)} "
+        f"dropped={recovery.get('dropped', 0)} "
+        f"truncated={recovery.get('truncated', 0)} bytes torn"
+    )
+    print(f"  terminal statuses: {dict(sorted(summary['statuses'].items()))}")
+    failed = False
+    if summary["lost"]:
+        print(f"LOST REQUESTS: {summary['lost']} — the journal failed its "
+              "durability guarantee")
+        failed = True
+    if summary["duplicate_completions"]:
+        print(f"DUPLICATE COMPLETIONS: {summary['duplicate_completions']} — "
+              "the exactly-once tripwire should have fired")
+        failed = True
+    if summary["mismatched"]:
+        print("REPLAY MISMATCHES (served point != direct pricing):")
+        for line in summary["mismatched"]:
+            print(f"  {line}")
+        failed = True
+    if failed:
+        return 1
+    print(
+        f"  all {summary['acknowledged']} acknowledged requests terminal "
+        "exactly once after SIGKILL+restart — zero lost, replay "
+        "bit-identical"
+    )
     return 0
 
 
@@ -532,7 +614,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving.scheduler import ServingConfig
 
     if args.quick:
-        return quick_selftest(runtime=args.runtime)
+        journal_dir = None
+        if args.journal is not None:
+            import tempfile
+
+            journal_dir = args.journal or tempfile.mkdtemp(
+                prefix="repro-journal-"
+            )
+            os.makedirs(journal_dir, exist_ok=True)
+        return quick_selftest(runtime=args.runtime, journal_dir=journal_dir)
+    journal_path = None
+    if args.journal is not None:
+        if not args.journal:
+            print("error: --journal requires DIR outside --quick")
+            return 2
+        os.makedirs(args.journal, exist_ok=True)
+        journal_path = os.path.join(args.journal, "requests.jsonl")
     config = ServingConfig(
         max_batch_size=args.batch_size,
         max_wait_s=args.max_wait,
@@ -544,6 +641,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         tile_elements=args.tile,
         seed=args.seed,
         runtime=args.runtime,
+        journal=journal_path,
     )
 
     def graceful_drain():  # pragma: no cover - signal path
@@ -560,12 +658,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   "forcing shutdown")
 
     with pool:
+        if journal_path is not None:
+            recovery = pool.recovery
+            print(
+                f"journal: {journal_path} (restored "
+                f"{recovery['restored']} completed, replayed "
+                f"{recovery['replayed']} in-flight, dropped "
+                f"{recovery['truncated']} torn record(s))",
+                flush=True,
+            )
         server = build_server(pool, host=args.host, port=args.port)
         with server:
+            # flush: the crash-test driver parses this line from a pipe
+            # to learn the ephemeral port before any request is sent.
             print(
                 f"serving {args.shards} shard(s) [{args.runtime} runtime] "
                 f"at {server.url} (POST /submit, GET /result/<id>, "
-                "/healthz, /stats, /metrics; Ctrl-C to stop)"
+                "/healthz, /stats, /metrics; Ctrl-C to stop)",
+                flush=True,
             )
             server.serve_forever(
                 install_signal_handlers=True, on_signal=graceful_drain

@@ -82,7 +82,15 @@ class CircuitOpenError(ReproError):
     hammering a run that keeps dying."""
 
 
-class CheckpointError(ReproError):
+class JournalError(ReproError):
+    """A write-ahead record log is unusable: an unwritable path, a failed
+    append/fsync, or corruption beyond the recoverable torn-tail case.
+    Raised directly by the serving request journal
+    (:mod:`repro.serving.journal`); the campaign checkpoint narrows it to
+    :class:`CheckpointError`."""
+
+
+class CheckpointError(JournalError):
     """The campaign checkpoint journal is unusable: an unwritable path, or
     corruption beyond the recoverable torn-tail case."""
 
@@ -135,6 +143,25 @@ class ShardUnavailableError(ServingError):
         self.retry_after_s = (
             None if retry_after_s is None else float(retry_after_s)
         )
+
+
+class DuplicateRequestError(ServingError):
+    """An idempotency key was reused with a *different* payload.  Reusing a
+    key with the identical payload is the supported retry path (the pool
+    returns the original request id); a conflicting payload under the same
+    key is a client bug the frontend surfaces as HTTP 409.  Carries the
+    offending ``idempotency_key`` and the ``request_id`` the key already
+    maps to."""
+
+    def __init__(
+        self,
+        message: str,
+        idempotency_key: str = "",
+        request_id: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.idempotency_key = idempotency_key
+        self.request_id = request_id
 
 
 class ProtocolError(ServingError):

@@ -37,6 +37,10 @@ __all__ = [
     "record_execution",
     "record_admission",
     "record_batch",
+    "record_idempotency",
+    "record_journal_append",
+    "record_journal_recovery",
+    "record_result_eviction",
     "record_queue_wait",
     "record_reroute",
     "record_request_duration",
@@ -242,6 +246,28 @@ class _Instruments:
             "repro_serving_worker_redrives_total",
             "In-flight requests re-driven after their worker died.",
             ("shard",),
+        )
+        self.journal_appends = registry.counter(
+            "repro_serving_journal_appends_total",
+            "Records appended to the serving request journal, by type.",
+            ("type",),
+        )
+        self.journal_recovered = registry.counter(
+            "repro_serving_journal_recovered_total",
+            "Journal recovery outcomes at startup: completed results "
+            "restored, in-flight requests replayed, torn records dropped, "
+            "duplicate terminal records skipped.",
+            ("kind",),
+        )
+        self.idempotency_outcomes = registry.counter(
+            "repro_serving_idempotency_total",
+            "Idempotency-key submission outcomes (hit / conflict).",
+            ("outcome",),
+        )
+        self.result_evictions = registry.counter(
+            "repro_serving_result_evictions_total",
+            "Results evicted from the ResultStore, by reason.",
+            ("reason",),
         )
         self.request_duration = registry.histogram(
             "repro_request_duration_seconds",
@@ -495,6 +521,47 @@ def record_worker_redrive(shard: int) -> None:
     inst = _instruments()
     if inst is not None:
         inst.worker_redrives.labels(shard=shard).inc()
+
+
+def record_journal_append(record_type: str) -> None:
+    """Count one fsync'd append to the serving request journal."""
+    inst = _instruments()
+    if inst is not None:
+        inst.journal_appends.labels(type=record_type).inc()
+
+
+def record_journal_recovery(
+    restored: int = 0,
+    replayed: int = 0,
+    truncated: int = 0,
+    duplicates: int = 0,
+) -> None:
+    """Roll one journal recovery pass into the recovery family."""
+    inst = _instruments()
+    if inst is None:
+        return
+    for kind, count in (
+        ("restored", restored),
+        ("replayed", replayed),
+        ("truncated", truncated),
+        ("duplicate_completions", duplicates),
+    ):
+        if count:
+            inst.journal_recovered.labels(kind=kind).inc(count)
+
+
+def record_idempotency(outcome: str) -> None:
+    """Count one idempotency-key outcome (``hit`` / ``conflict``)."""
+    inst = _instruments()
+    if inst is not None:
+        inst.idempotency_outcomes.labels(outcome=outcome).inc()
+
+
+def record_result_eviction(reason: str, count: int = 1) -> None:
+    """Count results evicted from the store (``capacity`` / ``ttl``)."""
+    inst = _instruments()
+    if inst is not None and count:
+        inst.result_evictions.labels(reason=reason).inc(count)
 
 
 def record_request_duration(seconds: float, trace_id: str | None = None) -> None:

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -136,6 +137,10 @@ class TraceStore:
         self._records: "OrderedDict[str, TraceRecord]" = OrderedDict()
         self._aliases: dict[str, str] = {}  # request id -> trace id
         self._lock = threading.Lock()
+        # Spill I/O gets its own lock so readers of the in-memory store
+        # are never blocked behind an fsync; acquisition order is always
+        # store lock (if held at all) before spill lock.
+        self._spill_lock = threading.Lock()
         self.evicted = 0
         self.spilled = 0
 
@@ -172,29 +177,52 @@ class TraceStore:
         )
 
     def _spill(self, record: TraceRecord) -> None:
-        if self.spill_path is None:
+        self._spill_batch([record])
+
+    def _spill_batch(self, records: list[TraceRecord]) -> None:
+        """Append ``records`` to the spill file crash-safely.
+
+        The new content is staged in a temp file alongside the target
+        (prior content + new lines), fsync'd, then moved into place with
+        :func:`os.replace` — atomic on POSIX.  A crash at any byte leaves
+        either the old complete file or the new complete file, never a
+        torn line, so :func:`load_spilled` readers can't observe half a
+        record even if the process dies mid-spill.
+        """
+        if self.spill_path is None or not records:
             return
-        try:
-            with open(self.spill_path, "a", encoding="utf-8") as handle:
-                handle.write(
-                    json.dumps(
-                        record.to_dict(), separators=(",", ":"),
-                        sort_keys=True,
-                    )
-                    + "\n"
-                )
-            self.spilled += 1
-        except OSError as exc:
-            raise TracingError(
-                f"cannot spill trace to {self.spill_path!r}: {exc}"
-            ) from exc
+        payload = "".join(
+            json.dumps(
+                record.to_dict(), separators=(",", ":"), sort_keys=True
+            )
+            + "\n"
+            for record in records
+        )
+        tmp_path = f"{self.spill_path}.tmp.{os.getpid()}"
+        with self._spill_lock:
+            try:
+                try:
+                    with open(self.spill_path, "rb") as existing:
+                        prior = existing.read()
+                except FileNotFoundError:
+                    prior = b""
+                with open(tmp_path, "wb") as handle:
+                    handle.write(prior)
+                    handle.write(payload.encode("utf-8"))
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_path, self.spill_path)
+                self.spilled += len(records)
+            except OSError as exc:
+                raise TracingError(
+                    f"cannot spill trace to {self.spill_path!r}: {exc}"
+                ) from exc
 
     def spill_all(self) -> int:
         """Spill every resident trace (end-of-run flush); returns count."""
         with self._lock:
             records = list(self._records.values())
-        for record in records:
-            self._spill(record)
+        self._spill_batch(records)
         return len(records)
 
     # -- writes ---------------------------------------------------------------

@@ -11,13 +11,13 @@ The journal is an append-only JSONL file:
 - ``{"v": 1, "type": "end", "key": K, "point": {...}}`` — the point's
   full payload, written after it reaches a terminal status.
 
-Appends are a single buffered-off write of one ``\\n``-terminated line
-followed by an fsync, so a crash can only ever produce a *torn tail*: a
-final partial line.  :func:`load_journal` tolerates that by treating the
-first unparseable record and everything after it as tail garbage, and
-:func:`recover` (run automatically when a journal is opened for resume)
-truncates the file back to the clean prefix so new appends never splice
-into torn bytes.
+The append/fsync discipline and torn-tail recovery live in the shared
+record-log primitive (:mod:`repro.runtime.recordlog`), which the serving
+request journal builds on too; this module keeps the campaign-specific
+record schema and the resume bookkeeping.  A crash can only ever produce
+a *torn tail* — a final partial line — which :func:`load_journal`
+tolerates and :func:`recover` (run automatically when a journal is
+opened for resume) truncates back to the clean prefix.
 
 The journal stores plain dicts — :mod:`repro.runtime.campaign` owns the
 conversion to/from :class:`~repro.runtime.campaign.CampaignPoint`, which
@@ -26,7 +26,6 @@ keeps this module dependency-free below the campaign layer.
 
 from __future__ import annotations
 
-import json
 import os
 from dataclasses import dataclass
 
@@ -35,16 +34,20 @@ from repro.observability.instruments import (
     record_checkpoint_append,
     record_checkpoint_recovery,
 )
+from repro.runtime.recordlog import (
+    FORMAT_VERSION,
+    RecordLog,
+    load_records,
+    recover_log,
+)
 
 __all__ = [
     "CheckpointJournal",
+    "FORMAT_VERSION",
     "JournalState",
     "load_journal",
     "recover",
 ]
-
-FORMAT_VERSION = 1
-
 
 @dataclass(frozen=True)
 class JournalState:
@@ -62,41 +65,9 @@ class JournalState:
     truncated: int
 
 
-def _scan(raw: bytes) -> tuple[list[dict], int, int]:
-    """(valid records, clean-prefix byte length, dropped record count)."""
-    records: list[dict] = []
-    offset = 0
-    dropped = 0
-    lines = raw.split(b"\n")
-    body, tail = lines[:-1], lines[-1]
-    for i, line in enumerate(body):
-        try:
-            record = json.loads(line)
-            if not isinstance(record, dict) or "type" not in record:
-                raise ValueError("not a journal record")
-        except ValueError:
-            # Append-only writes mean corruption is a tail phenomenon:
-            # this record and everything after it is torn garbage.
-            dropped += len(body) - i
-            if tail:
-                dropped += 1
-            return records, offset, dropped
-        records.append(record)
-        offset += len(line) + 1
-    if tail:  # final line never got its newline: torn mid-append
-        dropped += 1
-    return records, offset, dropped
-
-
 def load_journal(path: str) -> JournalState:
     """Tolerantly load a journal; a missing file is an empty journal."""
-    if not os.path.exists(path):
-        return JournalState(
-            completed={}, in_flight=(), meta=(), records=0, truncated=0
-        )
-    with open(path, "rb") as handle:
-        raw = handle.read()
-    records, _, dropped = _scan(raw)
+    records, dropped = load_records(path)
     completed: dict[str, dict] = {}
     begun: dict[str, None] = {}  # insertion-ordered set
     meta: list[dict] = []
@@ -129,12 +100,7 @@ def recover(path: str) -> int:
     """
     if not os.path.exists(path):
         return 0
-    with open(path, "rb") as handle:
-        raw = handle.read()
-    _, clean_len, dropped = _scan(raw)
-    if clean_len < len(raw):
-        with open(path, "r+b") as handle:
-            handle.truncate(clean_len)
+    dropped = recover_log(path, CheckpointError)
     record_checkpoint_recovery(dropped)
     return dropped
 
@@ -150,24 +116,14 @@ class CheckpointJournal:
     def __init__(self, path: str, resume: bool = False) -> None:
         self.path = path
         if resume:
+            # Run the checkpoint-flavoured recovery (records the recovery
+            # metric); RecordLog's own resume pass then finds a clean log.
             recover(path)
-        try:
-            # Unbuffered binary: each append is one OS-level write.
-            self._handle = open(path, "ab" if resume else "wb", buffering=0)
-        except OSError as exc:
-            raise CheckpointError(
-                f"cannot open checkpoint journal {path!r}: {exc}"
-            ) from exc
+        self._log = RecordLog(path, resume=resume, error_cls=CheckpointError)
 
     def append(self, record: dict) -> None:
         """Atomically append one record (single write + fsync)."""
-        if self._handle is None:
-            raise CheckpointError(f"journal {self.path!r} is closed")
-        payload = dict(record)
-        payload.setdefault("v", FORMAT_VERSION)
-        line = json.dumps(payload, separators=(",", ":"), sort_keys=True)
-        self._handle.write(line.encode("utf-8") + b"\n")
-        os.fsync(self._handle.fileno())
+        payload = self._log.append(record)
         record_checkpoint_append(payload.get("type", "unknown"))
 
     def describe(self, meta: dict) -> None:
@@ -183,9 +139,7 @@ class CheckpointJournal:
         self.append({"type": "end", "key": key, "point": point})
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        self._log.close()
 
     def __enter__(self) -> "CheckpointJournal":
         return self

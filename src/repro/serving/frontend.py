@@ -4,13 +4,17 @@ Endpoints (all JSON unless noted):
 
 - ``POST /submit`` — body ``{"workload": "Sobel", "relax_bits": 16,
   "dataset_bytes": 67108864, "tenant": "alice", "priority": 1,
-  "deadline_s": 2.5}`` (only ``workload`` required).  Replies ``202
-  {"id": ..., "status": "queued"}``; admission rejection is ``429`` with
-  a ``Retry-After`` header, an unknown workload or bad field is ``400``,
-  no healthy shard is ``503``.
+  "deadline_s": 2.5, "idempotency_key": "job-42"}`` (only ``workload``
+  required).  Replies ``202 {"id": ..., "status": "queued"}``; a repeat
+  submit under the same ``idempotency_key`` with the identical payload
+  is ``200 {"status": "duplicate"}`` carrying the *original* id, a
+  different payload under a used key is ``409``; admission rejection is
+  ``429`` with a ``Retry-After`` header, an unknown workload or bad
+  field is ``400``, no healthy shard is ``503``.
 - ``GET /result/<id>`` — ``200`` with the terminal
   :class:`~repro.serving.scheduler.ServeResult` once done, ``202
-  {"status": "pending"}`` while queued/executing, ``404`` for unknown ids.
+  {"status": "pending"}`` while queued/executing, ``404`` for unknown
+  ids, ``410`` once the result was evicted (capacity/TTL bound).
 - ``GET /trace/<id>`` — the request's trace timeline (by trace id or
   request id): every hop from admission through scheduler, pool worker,
   supervisor, executor and controller; ``404`` once evicted/unknown.
@@ -37,6 +41,8 @@ import urllib.request
 
 from repro.errors import (
     AdmissionRejectedError,
+    DuplicateRequestError,
+    JournalError,
     ReproError,
     ServingError,
     ShardUnavailableError,
@@ -49,7 +55,7 @@ __all__ = ["build_routes", "build_server", "quick_selftest"]
 
 _SUBMIT_FIELDS = {
     "workload", "relax_bits", "dataset_bytes", "tenant", "priority",
-    "deadline_s",
+    "deadline_s", "idempotency_key",
 }
 
 
@@ -61,7 +67,7 @@ def _submit_handler(pool: CrossbarPool):
         if unknown:
             return 400, {"error": f"unknown fields {sorted(unknown)}"}
         try:
-            request_id = pool.submit(
+            request_id, duplicate = pool.admit(
                 workload=str(body["workload"]),
                 relax_bits=int(body.get("relax_bits", 0)),
                 dataset_bytes=float(body.get("dataset_bytes", 64 * MIB)),
@@ -76,7 +82,23 @@ def _submit_handler(pool: CrossbarPool):
                     if body.get("deadline_s") is None
                     else float(body["deadline_s"])
                 ),
+                idempotency_key=(
+                    None
+                    if body.get("idempotency_key") is None
+                    else str(body["idempotency_key"])
+                ),
             )
+        except DuplicateRequestError as exc:
+            return 409, {
+                "error": str(exc),
+                "idempotency_key": exc.idempotency_key,
+                "id": exc.request_id,
+            }
+        except JournalError:
+            # The admitted record could not be made durable, so the id
+            # cannot be acknowledged: a journal outage is a server fault
+            # (500 via the server's handler-exception path), not a 400.
+            raise
         except AdmissionRejectedError as exc:
             return (
                 429,
@@ -98,9 +120,11 @@ def _submit_handler(pool: CrossbarPool):
         except ReproError as exc:
             return 400, {"error": f"{type(exc).__name__}: {exc}"}
         trace_id = pool.trace_id_for(request_id) or ""
-        return 202, {
+        # A duplicate submit is answered 200, not 202: nothing new was
+        # queued — the id points at the original request.
+        return (200 if duplicate else 202), {
             "id": request_id,
-            "status": "queued",
+            "status": "duplicate" if duplicate else "queued",
             "trace_id": trace_id,
         }
 
@@ -113,6 +137,17 @@ def _result_handler(pool: CrossbarPool):
         status = pool.results.status(request_id)
         if status == "unknown":
             return 404, {"error": f"unknown request id {request_id!r}"}
+        if status == "evicted":
+            reason = pool.results.eviction_reason(request_id) or "evicted"
+            return 410, {
+                "error": (
+                    f"result for {request_id!r} was evicted ({reason}); "
+                    "results are retained up to the store's capacity and "
+                    "TTL — fetch sooner or raise the bounds"
+                ),
+                "id": request_id,
+                "reason": reason,
+            }
         if status == "pending":
             return 202, {
                 "id": request_id,
@@ -219,7 +254,10 @@ def _http_json(url: str, payload: dict | None = None, timeout: float = 10.0):
 
 
 def quick_selftest(
-    shards: int = 2, workload: str = "Robert", runtime: str = "thread"
+    shards: int = 2,
+    workload: str = "Robert",
+    runtime: str = "thread",
+    journal_dir: str | None = None,
 ) -> int:
     """Boot a real server, round-trip one workload, assert correctness.
 
@@ -227,9 +265,23 @@ def quick_selftest(
     (in-process) pricing of the same request, non-zero otherwise.  This is
     the CI smoke behind ``repro serve --quick`` — run per runtime
     (``--runtime subprocess`` smokes the process-isolated path, worker
-    spawn and trace/metric forwarding included).
+    spawn and trace/metric forwarding included).  With ``journal_dir``
+    set, the durability path is exercised too: idempotent resubmission,
+    409 on a conflicting payload, and a full server restart on the same
+    journal that must restore the result and replay an interrupted
+    request (``repro serve --quick --journal``).
     """
-    pool = CrossbarPool(shards=shards, tile_elements=1 << 9, runtime=runtime)
+    journal_path = None
+    if journal_dir is not None:
+        import os
+
+        journal_path = os.path.join(journal_dir, "requests.jsonl")
+    pool = CrossbarPool(
+        shards=shards,
+        tile_elements=1 << 9,
+        runtime=runtime,
+        journal=journal_path,
+    )
     server = build_server(pool)
     failures: list[str] = []
     with pool, server:
@@ -302,13 +354,133 @@ def quick_selftest(
         status, unknown = _http_json(f"{base}/result/nope")
         if status != 404:
             failures.append(f"unknown id should 404, got {status}")
+        if journal_path is not None:
+            failures.extend(_selftest_idempotency(base, workload))
+    if journal_path is not None and not failures:
+        failures.extend(
+            _selftest_journal_restart(
+                shards, workload, runtime, journal_path, request_id, result
+            )
+        )
     if failures:
         for failure in failures:
             print(f"SELFTEST FAIL: {failure}")
         return 1
+    durability = ", journal recovery verified" if journal_path else ""
     print(
         f"serve selftest ok: {workload} m=8 round-tripped through "
         f"{shards} shard(s) over HTTP, result bit-identical to direct "
-        "pricing"
+        f"pricing{durability}"
     )
     return 0
+
+
+def _selftest_idempotency(base: str, workload: str) -> list[str]:
+    """Exercise the idempotency-key contract against a live server."""
+    failures: list[str] = []
+    payload = {
+        "workload": workload, "relax_bits": 8, "tenant": "selftest",
+        "idempotency_key": "selftest-key",
+    }
+    status, first = _http_json(f"{base}/submit", payload)
+    if status != 202 or "id" not in first:
+        failures.append(f"keyed submit: {status} {first}")
+        return failures
+    status, again = _http_json(f"{base}/submit", payload)
+    if (
+        status != 200
+        or again.get("status") != "duplicate"
+        or again.get("id") != first["id"]
+    ):
+        failures.append(f"duplicate submit not detected: {status} {again}")
+    status, conflict = _http_json(
+        f"{base}/submit", {**payload, "relax_bits": 16}
+    )
+    if status != 409:
+        failures.append(
+            f"conflicting payload should 409, got {status} {conflict}"
+        )
+    for _ in range(600):
+        status, _ = _http_json(f"{base}/result/{first['id']}")
+        if status == 200:
+            break
+        time.sleep(0.05)
+    if status != 200:
+        failures.append(f"keyed request never completed: {status}")
+    return failures
+
+
+def _selftest_journal_restart(
+    shards: int,
+    workload: str,
+    runtime: str,
+    journal_path: str,
+    request_id: str | None,
+    first_result: dict | None,
+) -> list[str]:
+    """Restart a server on the same journal and verify crash recovery:
+    completed results restored bit-identically, an acknowledged-but
+    -incomplete request replayed to a terminal result, and the
+    idempotency index rebuilt."""
+    from repro.serving.journal import RequestJournal
+    from repro.serving.scheduler import ServeRequest
+
+    failures: list[str] = []
+    # Simulate the crash case the journal exists for: an ``admitted``
+    # record (the client holds this id) with no terminal record.
+    crash_id = "selftest-00000099"
+    with RequestJournal(journal_path) as journal:
+        journal.admitted(
+            ServeRequest(
+                id=crash_id,
+                workload=workload,
+                relax_bits=8,
+                dataset_bytes=int(64 * MIB),
+                tenant="selftest",
+                priority=1,
+            )
+        )
+    pool = CrossbarPool(
+        shards=shards,
+        tile_elements=1 << 9,
+        runtime=runtime,
+        journal=journal_path,
+    )
+    server = build_server(pool)
+    with pool, server:
+        base = server.url
+        status, stats = _http_json(f"{base}/stats")
+        recovery = ((stats.get("journal") or {}).get("recovery")) or {}
+        if recovery.get("restored", 0) < 1 or recovery.get("replayed") != 1:
+            failures.append(f"recovery counts wrong: {recovery}")
+        if request_id is not None and first_result is not None:
+            status, restored = _http_json(f"{base}/result/{request_id}")
+            if status != 200:
+                failures.append(f"restored result not served: {status}")
+            else:
+                served = (restored.get("point") or {}).get("speedup")
+                original = (first_result.get("point") or {}).get("speedup")
+                if served != original:
+                    failures.append(
+                        f"restored speedup {served} != first life {original}"
+                    )
+        status = None
+        for _ in range(600):
+            status, _ = _http_json(f"{base}/result/{crash_id}")
+            if status == 200:
+                break
+            time.sleep(0.05)
+        if status != 200:
+            failures.append(f"replayed request never completed: {status}")
+        status, again = _http_json(
+            f"{base}/submit",
+            {
+                "workload": workload, "relax_bits": 8, "tenant": "selftest",
+                "idempotency_key": "selftest-key",
+            },
+        )
+        if status != 200 or again.get("status") != "duplicate":
+            failures.append(
+                f"idempotency index not durable: {status} {again}"
+            )
+    return failures

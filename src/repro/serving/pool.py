@@ -42,8 +42,15 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.config import APIMConfig
-from repro.errors import ServingError, ShardUnavailableError
+from repro.errors import (
+    DuplicateRequestError,
+    JournalError,
+    ServingError,
+    ShardUnavailableError,
+)
 from repro.observability.instruments import (
+    record_idempotency,
+    record_journal_recovery,
     record_request_duration,
     record_reroute,
     record_served,
@@ -56,6 +63,11 @@ from repro.quality.qos import QoSPolicy
 from repro.runtime.campaign import run_point
 from repro.runtime.comparison import ComparisonHarness
 from repro.runtime.supervisor import CircuitBreaker, RetryPolicy, Supervisor
+from repro.serving.journal import (
+    RequestJournal,
+    payload_fingerprint,
+    serve_result_from_dict,
+)
 from repro.serving.runtime import ShardRuntime, resolve_runtime
 from repro.serving.scheduler import (
     BatchingScheduler,
@@ -124,12 +136,17 @@ class CrossbarPool:
         trace_store: TraceStore | None = None,
         slo_policy: SLOPolicy | None = None,
         runtime: "str | ShardRuntime" = "thread",
+        journal: "RequestJournal | str | None" = None,
+        result_capacity: int = 8192,
+        result_ttl_s: float | None = None,
     ) -> None:
         if shards < 1:
             raise ServingError("pool needs at least one shard")
         self.serving_config = serving_config or ServingConfig()
         self.scheduler = scheduler or BatchingScheduler(self.serving_config)
-        self.results = results or ResultStore()
+        self.results = results or ResultStore(
+            capacity=result_capacity, ttl_s=result_ttl_s
+        )
         # Explicit None test: an empty TraceStore is falsy (len 0), and
         # ``or`` would silently discard a caller-provided store.
         self.traces = trace_store if trace_store is not None else TraceStore()
@@ -194,6 +211,25 @@ class CrossbarPool:
         self._lifecycle = threading.Lock()
         self._started = False
         self._draining = False
+        # Durability: the write-ahead request journal (a path opens one;
+        # the pool owns its lifecycle either way) and the idempotency-key
+        # index it rebuilds after a crash.
+        if isinstance(journal, str):
+            journal = RequestJournal(journal)
+        self.journal = journal
+        self._journal_failures = 0
+        self._idem_lock = threading.Lock()
+        self._idempotency: dict[str, tuple[str, str]] = {}
+        self.recovery = {
+            "restored": 0,
+            "replayed": 0,
+            "truncated": 0,
+            "duplicate_completions": 0,
+            "dropped": 0,
+        }
+        self._recovered = False
+        if self.journal is not None:
+            self._idempotency.update(self.journal.recovered.idempotency)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -216,6 +252,8 @@ class CrossbarPool:
                 record_shard_health(shard.index, True)
             self.runtime.start()
             self._started = True
+            if self.journal is not None and not self._recovered:
+                self._recover_from_journal()
         return self
 
     def ensure_started(self) -> "CrossbarPool":
@@ -224,6 +262,104 @@ class CrossbarPool:
         if not started:
             self.start()
         return self
+
+    def _recover_from_journal(self) -> None:
+        """Crash-safe startup: restore journaled terminal results and
+        re-admit every acknowledged-but-incomplete request.
+
+        Runs under the lifecycle lock from :meth:`start` — replays go
+        straight to the scheduler (``submit`` would deadlock re-entering
+        the lock, and replays must bypass draining/health admission
+        gates anyway: they were already acknowledged in a prior life).
+        Replayed requests run the normal rescue ladder; exactly-once is
+        enforced by the result store's double-completion tripwire plus
+        the journal's first-terminal-record-wins fold.
+        """
+        state = self.journal.recovered
+        self.recovery["truncated"] = state.truncated
+        self.recovery["duplicate_completions"] = state.duplicate_completions
+        restored = replayed = dropped = 0
+        for request_id, record in state.completed.items():
+            try:
+                result = serve_result_from_dict(record.get("result", {}))
+                self.results.restore(result)
+            except (JournalError, ServingError):
+                # Unreadable payload (foreign version) or an id the store
+                # already knows: count it, never resurrect garbage.
+                dropped += 1
+                continue
+            restored += 1
+        if state.max_seq >= 0:
+            # Never re-mint a journaled id: a collision would falsely
+            # trip the double-completion tripwire.
+            self.scheduler.advance_seq(state.max_seq + 1)
+        for request_id in state.replayable:
+            entry = state.entries[request_id]
+            trace = self.traces.new_trace(
+                workload=entry.workload,
+                tenant=entry.tenant,
+                relax_bits=entry.relax_bits,
+            )
+            self.traces.bind(request_id, trace.trace_id)
+            trace.event(
+                "journal", "replayed",
+                "re-admitted after crash recovery",
+                request_id=request_id,
+                prior_dispatches=entry.dispatches,
+            )
+            request = ServeRequest(
+                id=request_id,
+                workload=entry.workload,
+                relax_bits=entry.relax_bits,
+                dataset_bytes=entry.dataset_bytes,
+                tenant=entry.tenant,
+                priority=entry.priority,
+                # Wall-clock deadlines are meaningless across a restart;
+                # an acknowledged request must terminate usefully rather
+                # than expire on a stale clock.
+                deadline_at=None,
+                trace=trace,
+            )
+            self.results.register(request_id)
+            try:
+                self.scheduler.submit(request, block=True)
+            except ServingError:
+                self.results.discard(request_id)
+                dropped += 1
+                continue
+            self.runtime.after_submit()  # inline runtimes pump here
+            replayed += 1
+        self.recovery["restored"] = restored
+        self.recovery["replayed"] = replayed
+        self.recovery["dropped"] = dropped
+        self._recovered = True
+        record_journal_recovery(
+            restored=restored,
+            replayed=replayed,
+            truncated=state.truncated,
+            duplicates=state.duplicate_completions,
+        )
+
+    # -- durability helpers ---------------------------------------------------
+
+    def _journal_dispatched(self, request: ServeRequest, shard: int) -> None:
+        if self.journal is None:
+            return
+        try:
+            self.journal.dispatched(request.id, shard)
+        except JournalError:
+            # A worker thread must not die on a full disk: the request
+            # still executes, the gap is counted and visible in /stats.
+            self._journal_failures += 1
+
+    def _complete(self, result: ServeResult) -> None:
+        """The single terminal path: journal first, then publish."""
+        if self.journal is not None:
+            try:
+                self.journal.completed(result)
+            except JournalError:
+                self._journal_failures += 1
+        self.results.complete(result)
 
     def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
         """Shut the pool down.
@@ -255,9 +391,11 @@ class CrossbarPool:
                     if not batch:
                         break
                     for request in batch:
-                        self.results.complete(
+                        self._complete(
                             self._aborted(request, "pool stopped")
                         )
+            if self.journal is not None:
+                self.journal.close()
 
     def begin_drain(self) -> None:
         """Stop admission without stopping execution: ``submit`` starts
@@ -297,10 +435,42 @@ class CrossbarPool:
         priority: int | None = None,
         deadline_s: float | None = None,
         block: bool = False,
+        idempotency_key: str | None = None,
     ) -> str:
         """Admit one request; returns its id (or raises
         :class:`~repro.errors.AdmissionRejectedError` /
         :class:`~repro.errors.ServingError`)."""
+        request_id, _ = self.admit(
+            workload,
+            relax_bits=relax_bits,
+            dataset_bytes=dataset_bytes,
+            tenant=tenant,
+            priority=priority,
+            deadline_s=deadline_s,
+            block=block,
+            idempotency_key=idempotency_key,
+        )
+        return request_id
+
+    def admit(
+        self,
+        workload: str,
+        relax_bits: int = 0,
+        dataset_bytes: float = 64 * MIB,
+        tenant: str = "default",
+        priority: int | None = None,
+        deadline_s: float | None = None,
+        block: bool = False,
+        idempotency_key: str | None = None,
+    ) -> tuple[str, bool]:
+        """Admit one request; returns ``(request_id, duplicate)``.
+
+        With an ``idempotency_key``, resubmitting the identical payload
+        returns the original id with ``duplicate=True`` (the safe-retry
+        path: no new work is queued), while a *different* payload under
+        the same key raises
+        :class:`~repro.errors.DuplicateRequestError` (HTTP 409).
+        """
         try:
             workload_by_name(workload)  # reject unknown names at the door
         except KeyError as exc:
@@ -311,6 +481,69 @@ class CrossbarPool:
             raise ServingError(f"dataset_bytes must be positive: {dataset_bytes}")
         if deadline_s is not None and deadline_s <= 0:
             raise ServingError(f"deadline_s must be positive: {deadline_s}")
+        resolved_priority = (
+            self.serving_config.default_priority
+            if priority is None
+            else int(priority)
+        )
+        if idempotency_key is None:
+            return (
+                self._admit_new(
+                    workload, int(relax_bits), int(dataset_bytes), tenant,
+                    resolved_priority, deadline_s, block, None, None,
+                ),
+                False,
+            )
+        idempotency_key = str(idempotency_key)
+        if not idempotency_key or len(idempotency_key) > 256:
+            raise ServingError(
+                "idempotency_key must be a non-empty string of at most "
+                "256 characters"
+            )
+        fingerprint = payload_fingerprint(
+            workload, int(relax_bits), int(dataset_bytes), tenant,
+            resolved_priority,
+        )
+        # The key->id reservation is held across admission so two racing
+        # submits of the same key cannot both queue work.  Admission
+        # itself is fast (block=False on the HTTP path), and nothing in
+        # _admit_new takes this lock.
+        with self._idem_lock:
+            known = self._idempotency.get(idempotency_key)
+            if known is not None:
+                known_id, known_fp = known
+                if known_fp != fingerprint:
+                    record_idempotency("conflict")
+                    raise DuplicateRequestError(
+                        f"idempotency key {idempotency_key!r} was already "
+                        f"used by request {known_id!r} with a different "
+                        "payload",
+                        idempotency_key=idempotency_key,
+                        request_id=known_id,
+                    )
+                record_idempotency("hit")
+                return known_id, True
+            request_id = self._admit_new(
+                workload, int(relax_bits), int(dataset_bytes), tenant,
+                resolved_priority, deadline_s, block,
+                idempotency_key, fingerprint,
+            )
+            self._idempotency[idempotency_key] = (request_id, fingerprint)
+            return request_id, False
+
+    def _admit_new(
+        self,
+        workload: str,
+        relax_bits: int,
+        dataset_bytes: int,
+        tenant: str,
+        priority: int,
+        deadline_s: float | None,
+        block: bool,
+        idempotency_key: str | None,
+        fingerprint: str | None,
+    ) -> str:
+        """Queue one validated request; returns the acknowledged id."""
         if self._draining:
             raise ShardUnavailableError(
                 "pool is draining for shutdown; resubmit elsewhere",
@@ -318,7 +551,7 @@ class CrossbarPool:
             )
         self.ensure_started()
         trace = self.traces.new_trace(
-            workload=workload, tenant=tenant, relax_bits=int(relax_bits)
+            workload=workload, tenant=tenant, relax_bits=relax_bits
         )
         if not any(shard.healthy for shard in self.shards):
             trace.event(
@@ -331,14 +564,10 @@ class CrossbarPool:
         request = ServeRequest(
             id=self.scheduler.next_id(tenant),
             workload=workload,
-            relax_bits=int(relax_bits),
-            dataset_bytes=int(dataset_bytes),
+            relax_bits=relax_bits,
+            dataset_bytes=dataset_bytes,
             tenant=tenant,
-            priority=(
-                self.serving_config.default_priority
-                if priority is None
-                else int(priority)
-            ),
+            priority=priority,
             deadline_at=(
                 None
                 if deadline_s is None
@@ -358,6 +587,17 @@ class CrossbarPool:
             # Not admitted: the id must not linger as a pending ghost.
             self.results.discard(request.id)
             raise
+        if self.journal is not None:
+            # Fsync the admitted record *before* the id is acknowledged:
+            # a JournalError here bubbles to the client as a 500 — the
+            # request may run, but the id was never promised durable.
+            self.journal.admitted(
+                request,
+                idempotency_key=idempotency_key,
+                fingerprint=fingerprint,
+                deadline_s=deadline_s,
+            )
+            trace.event("journal", "admitted", request_id=request.id)
         self.runtime.after_submit()
         return request.id
 
@@ -412,7 +652,19 @@ class CrossbarPool:
                 "pending": self.results.pending,
                 "completed": self.results.completed,
                 "evicted": self.results.evicted,
+                "evicted_by_reason": dict(self.results.evicted_by_reason),
+                "ttl_s": self.results.ttl_s,
             },
+            "journal": (
+                None
+                if self.journal is None
+                else {
+                    "path": self.journal.path,
+                    "appends": dict(self.journal.appends),
+                    "append_failures": self._journal_failures,
+                    "recovery": dict(self.recovery),
+                }
+            ),
             "latency": self.latency.summary(),
             "slo": self.slo.evaluate(),
             "traces": {
@@ -519,7 +771,7 @@ class CrossbarPool:
                 error="deadline passed while queued",
                 trace_id=trace_id,
             )
-            self.results.complete(result)
+            self._complete(result)
             record_served(shard.index, request.tenant, "expired", 0.0)
             self._account(queue_wait, 0.0, queue_wait, trace_id, ok=False)
             return
@@ -527,6 +779,7 @@ class CrossbarPool:
             "pool", "dispatch", shard=shard.index, batch_size=batch_size,
             queue_wait_s=round(queue_wait, 6),
         )
+        self._journal_dispatched(request, shard.index)
         start = time.monotonic()
         try:
             point, status, attempts, error = (execute or self._execute_local)(
@@ -567,7 +820,7 @@ class CrossbarPool:
             error=error,
             trace_id=trace_id,
         )
-        self.results.complete(result)
+        self._complete(result)
         record_served(shard.index, request.tenant, status, service_s)
         self._account(
             queue_wait, service_s, queue_wait + service_s, trace_id,

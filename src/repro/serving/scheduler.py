@@ -40,6 +40,7 @@ from repro.observability.instruments import (
     record_admission,
     record_batch,
     record_queue_wait,
+    record_result_eviction,
     set_queue_depth,
 )
 from repro.units import MIB
@@ -490,25 +491,88 @@ class BatchingScheduler:
         """A unique request id (monotonic per scheduler)."""
         return f"{tenant}-{next(self._seq):08d}"
 
+    def advance_seq(self, floor: int) -> None:
+        """Ensure future ids are minted at or above ``floor``.
+
+        Journal recovery calls this with one past the highest journaled
+        sequence number, so a restarted scheduler never re-mints an id
+        that already exists on disk (which would falsely trip the
+        result store's double-completion tripwire)."""
+        with self._lock:
+            self._seq = itertools.count(max(next(self._seq), int(floor)))
+
 
 class ResultStore:
     """Terminal results by request id, with completion waiting.
 
     Every admitted request is :meth:`register`-ed before workers can see
     it and :meth:`complete`-d exactly once; duplicate completions raise
-    (the double-execution tripwire).  Fetched-or-not, finished results are
-    kept up to ``capacity`` and then evicted oldest-first.
+    (the double-execution tripwire).  Memory is bounded two ways:
+    finished results are kept up to ``capacity`` then evicted
+    oldest-first, and — when ``ttl_s`` is set — results older than the
+    TTL are pruned on every store interaction.  Evicted ids leave a
+    bounded *tombstone* (id -> eviction reason) behind, so clients asking
+    about an evicted result get a definitive "gone" (HTTP 410) instead of
+    an ambiguous "unknown", and the tripwire still fires if an evicted id
+    is completed again.
     """
 
-    def __init__(self, capacity: int = 8192) -> None:
+    def __init__(
+        self,
+        capacity: int = 8192,
+        ttl_s: float | None = None,
+        tombstones: int = 8192,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         if capacity < 1:
             raise ConfigurationError("capacity must be at least 1")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ConfigurationError("ttl_s must be positive (or None)")
+        if tombstones < 0:
+            raise ConfigurationError("tombstones must be non-negative")
         self.capacity = capacity
+        self.ttl_s = ttl_s
+        self.tombstones = tombstones
+        self.clock = clock
         self._lock = threading.Lock()
         self._done = threading.Condition(self._lock)
         self._results: "OrderedDict[str, ServeResult]" = OrderedDict()
+        self._completed_at: dict[str, float] = {}
+        self._tombstones: "OrderedDict[str, str]" = OrderedDict()
         self._pending: set[str] = set()
         self.evicted = 0
+        self.evicted_by_reason = {"capacity": 0, "ttl": 0}
+
+    def _evict_locked(self, request_id: str, reason: str) -> None:
+        self._results.pop(request_id, None)
+        self._completed_at.pop(request_id, None)
+        if self.tombstones > 0:
+            self._tombstones[request_id] = reason
+            while len(self._tombstones) > self.tombstones:
+                self._tombstones.popitem(last=False)
+        self.evicted += 1
+        self.evicted_by_reason[reason] += 1
+        record_result_eviction(reason)
+
+    def _prune_locked(self) -> None:
+        if self.ttl_s is None:
+            return
+        now = self.clock()
+        while self._results:
+            oldest_id = next(iter(self._results))
+            born = self._completed_at.get(oldest_id, now)
+            if now - born < self.ttl_s:
+                break
+            self._evict_locked(oldest_id, "ttl")
+
+    def _store_locked(self, result: ServeResult) -> None:
+        self._results[result.id] = result
+        self._completed_at[result.id] = self.clock()
+        while len(self._results) > self.capacity:
+            oldest_id = next(iter(self._results))
+            self._evict_locked(oldest_id, "capacity")
+        self._prune_locked()
+        self._done.notify_all()
 
     def register(self, request_id: str) -> None:
         with self._lock:
@@ -518,17 +582,29 @@ class ResultStore:
 
     def complete(self, result: ServeResult) -> None:
         with self._lock:
-            if result.id in self._results:
+            if result.id in self._results or result.id in self._tombstones:
                 raise ServingError(
                     f"request {result.id!r} completed twice — scheduler "
                     "invariant broken"
                 )
             self._pending.discard(result.id)
-            self._results[result.id] = result
-            while len(self._results) > self.capacity:
-                self._results.popitem(last=False)
-                self.evicted += 1
-            self._done.notify_all()
+            self._store_locked(result)
+
+    def restore(self, result: ServeResult) -> None:
+        """Re-publish a journaled terminal result after a restart.
+
+        Register-and-complete in one step; the tripwire contract still
+        holds — restoring an id the store already knows raises."""
+        with self._lock:
+            if (
+                result.id in self._results
+                or result.id in self._pending
+                or result.id in self._tombstones
+            ):
+                raise ServingError(
+                    f"request id {result.id!r} already known — cannot restore"
+                )
+            self._store_locked(result)
 
     def discard(self, request_id: str) -> None:
         """Forget a registered-but-never-admitted id (admission failure
@@ -537,16 +613,25 @@ class ResultStore:
             self._pending.discard(request_id)
 
     def status(self, request_id: str) -> str:
-        """``pending`` / ``done`` / ``unknown``."""
+        """``pending`` / ``done`` / ``evicted`` / ``unknown``."""
         with self._lock:
+            self._prune_locked()
             if request_id in self._results:
                 return "done"
             if request_id in self._pending:
                 return "pending"
+            if request_id in self._tombstones:
+                return "evicted"
             return "unknown"
+
+    def eviction_reason(self, request_id: str) -> str | None:
+        """Why an evicted id is gone (``capacity``/``ttl``), else None."""
+        with self._lock:
+            return self._tombstones.get(request_id)
 
     def get(self, request_id: str) -> ServeResult | None:
         with self._lock:
+            self._prune_locked()
             return self._results.get(request_id)
 
     def wait(
@@ -556,6 +641,11 @@ class ResultStore:
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
             while request_id not in self._results:
+                if request_id in self._tombstones:
+                    raise ServingError(
+                        f"result for {request_id!r} was evicted "
+                        f"({self._tombstones[request_id]})"
+                    )
                 if request_id not in self._pending:
                     raise ServingError(f"unknown request id {request_id!r}")
                 remaining = (

@@ -23,7 +23,9 @@ from repro.errors import (
     CrossbarError,
     DeadlineExceededError,
     DeviceError,
+    DuplicateRequestError,
     FaultError,
+    JournalError,
     KernelExecutionError,
     ProtocolError,
     QoSError,
@@ -47,7 +49,9 @@ ALL_ERRORS = [
     CrossbarError,
     DeadlineExceededError,
     DeviceError,
+    DuplicateRequestError,
     FaultError,
+    JournalError,
     KernelExecutionError,
     ProtocolError,
     QoSError,
@@ -246,6 +250,30 @@ class TestHierarchy:
         assert manager.policy.enabled
         assert FaultError.__module__ == "repro.errors"
         assert RecoveryError.__module__ == "repro.errors"
+
+    def test_checkpoint_error_is_a_journal_error(self):
+        """The campaign checkpoint is one client of the shared record
+        log: an ``except JournalError`` handler covers both the serving
+        journal and the checkpoint journal failing."""
+        assert issubclass(CheckpointError, JournalError)
+        with pytest.raises(JournalError):
+            raise CheckpointError("disk gone")
+        # But not the other way round: a serving-journal failure must
+        # not masquerade as a checkpoint failure.
+        assert not issubclass(JournalError, CheckpointError)
+
+    def test_duplicate_request_error_carries_the_conflict(self):
+        """A 409 needs both sides of the conflict: the key the client
+        reused and the id of the request that owns it."""
+        exc = DuplicateRequestError("conflict")
+        assert (exc.idempotency_key, exc.request_id) == ("", "")
+        exc = DuplicateRequestError(
+            "conflict", idempotency_key="k-1", request_id="t-00000007"
+        )
+        assert exc.idempotency_key == "k-1"
+        assert exc.request_id == "t-00000007"
+        with pytest.raises(ServingError):
+            raise exc
 
     def test_observability_errors_share_the_observability_base(self):
         """Tracing and SLO failures are observability failures: one

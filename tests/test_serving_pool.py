@@ -87,8 +87,9 @@ class TestRoundTrip:
         stats = pool.stats()
         assert set(stats) == {
             "runtime", "scheduler", "results", "shards", "latency", "slo",
-            "traces",
+            "traces", "journal",
         }
+        assert stats["journal"] is None  # this pool runs unjournaled
         assert len(stats["shards"]) == 2
         assert stats["runtime"]["name"] == "thread"
         assert set(stats["traces"]) == {"resident", "evicted", "spilled"}
