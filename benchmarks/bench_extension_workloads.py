@@ -4,9 +4,18 @@ Prices GEMM and MLP inference — the ML kernels the paper's introduction
 motivates — against the GPU, CPU and near-data baselines at 1 GB, and
 regression-pins the organisational ordering the paper's argument implies
 for memory-bound kernels: APIM > NDP > conventional cores on EDP.
+
+The retrieval/inference arm sweeps the two PR-8 workload families down
+the relax ladder — Similarity's recall@10 and QuantizedLayer's
+prediction-flip rate — and archives both curves in
+``BENCH_extension.json`` for CI to upload.  The shape assertions pin the
+serving tier's QoS story: recall@10 stays >= 0.95 through the first two
+relax rungs and both curves degrade monotonically.
 """
 
 from __future__ import annotations
+
+import json
 
 import numpy as np
 
@@ -18,6 +27,9 @@ from repro.core.engine import APIMEngine
 from repro.runtime.comparison import ComparisonHarness
 from repro.units import GIB
 from repro.workloads import workload_by_name
+
+ARTIFACT = "BENCH_extension.json"
+RELAX_RUNGS = (0, 4, 8, 16, 24, 32)
 
 
 def test_arithmetic_intensity_boundary(benchmark, bench_rounds):
@@ -115,3 +127,77 @@ def test_neural_decision_stability_curve(benchmark, bench_rounds):
         print(f"  m={m:>2}: {flips:6.2%} of predictions changed")
     assert rows[0][1] == 0.0
     assert rows[1][1] < 0.02  # decisions robust at moderate relax
+
+
+def test_retrieval_and_inference_relax_curves(benchmark, bench_rounds):
+    """Recall@10 and prediction-flip rate down the relax ladder.
+
+    The serving tier degrades `/search` and QuantizedLayer requests up
+    the same rungs the rescue ladder climbs; these curves are the
+    quality contract behind that policy.  Archived in
+    ``BENCH_extension.json``.
+    """
+    similarity = workload_by_name("Similarity")
+    quantized = workload_by_name("QuantizedLayer")
+    sim_data = similarity.generate(1 << 10, np.random.default_rng(17))
+    q_data = quantized.generate(512, np.random.default_rng(23))
+    sim_ref = similarity.reference(sim_data)
+    q_ref = quantized.reference(q_data)
+
+    def sweep():
+        recall_curve = []
+        flip_curve = []
+        for m in RELAX_RUNGS:
+            engine = APIMEngine(spec=ApproxSpec.last_stage(m))
+            distances = similarity.run(engine, sim_data)
+            recall_curve.append(
+                (m, similarity.recall_at_k(sim_ref, distances, k=10))
+            )
+            engine = APIMEngine(spec=ApproxSpec.last_stage(m))
+            logits = quantized.run(engine, q_data)
+            flip_curve.append(
+                (m, quantized.decision_flip_rate(q_ref, logits))
+            )
+        return recall_curve, flip_curve
+
+    recall_curve, flip_curve = benchmark.pedantic(
+        sweep, rounds=bench_rounds, iterations=1
+    )
+    payload = {
+        "relax_rungs": list(RELAX_RUNGS),
+        "similarity": {
+            "entries": int(sim_data.array("codebook").shape[0]),
+            "dim": int(sim_data.array("codebook").shape[1]),
+            "queries": int(sim_data.array("queries").shape[0]),
+            "k": 10,
+            "recall_at_10": [
+                {"relax_bits": m, "recall": r} for m, r in recall_curve
+            ],
+        },
+        "quantized_layer": {
+            "batch": int(q_data.array("x").shape[0]),
+            "flip_rate": [
+                {"relax_bits": m, "flips": f} for m, f in flip_curve
+            ],
+        },
+    }
+    with open(ARTIFACT, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    print()
+    print("retrieval + inference quality down the relax ladder")
+    print("  relax   recall@10   flip rate")
+    for (m, recall), (_, flips) in zip(recall_curve, flip_curve):
+        print(f"  {m:>5}   {recall:>9.3f}   {flips:>9.2%}")
+    recalls = [r for _, r in recall_curve]
+    flips = [f for _, f in flip_curve]
+    # Exact tier: perfect retrieval, zero flips.
+    assert recalls[0] == 1.0
+    assert flips[0] == 0.0
+    # The serving QoS floor: the first two relax rungs keep recall@10
+    # at or above 0.95 — the regime `/search` degrades into first.
+    assert recalls[1] >= 0.95 and recalls[2] >= 0.95
+    # Both curves degrade monotonically (small tolerance for plateaus).
+    assert all(a >= b - 1e-9 for a, b in zip(recalls, recalls[1:]))
+    assert all(a <= b + 0.02 for a, b in zip(flips, flips[1:]))
+    # The ladder's far end visibly bites: degradation is real, not noise.
+    assert recalls[-1] < 0.5

@@ -23,6 +23,10 @@ Commands:
   against an SLO policy.
 - ``trace`` — pretty-print one request's end-to-end trace timeline
   (from a live demo pool with ``--quick``, or a JSONL spill file).
+- ``search`` — in-memory binarized similarity search: recall-vs-relax
+  demo over a seeded codebook, or the served round-trip self-test
+  (``--quick``: boot a real server, POST /search, assert the top-k is
+  bit-identical to a numpy brute force).
 - ``workloads`` — list available workloads.
 """
 
@@ -296,6 +300,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--ops", type=int, default=4, help="multiplications per die"
     )
     p.add_argument("--seed", type=int, default=2017)
+
+    p = sub.add_parser(
+        "search",
+        help="in-memory binarized similarity search over the APIM fabric",
+    )
+    p.add_argument("--entries", type=int, default=512, help="codebook size")
+    p.add_argument("--dim", type=int, default=256, help="bits per codeword")
+    p.add_argument("--queries", type=int, default=16)
+    p.add_argument("-k", type=int, default=10, help="neighbours per query")
+    p.add_argument(
+        "--levels", type=int, nargs="+", default=[0, 4, 8, 16, 24, 32],
+        help="relax-bits rungs for the recall ladder",
+    )
+    p.add_argument("--seed", type=int, default=2017)
+    p.add_argument("--shards", type=int, default=2)
+    p.add_argument(
+        "--runtime", choices=("inline", "thread", "subprocess"),
+        default="thread",
+        help="shard runtime for the --quick served round trip",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="self-test (CI): boot a real server, round-trip POST "
+        "/search, assert the exact-tier top-k is bit-identical to a "
+        "numpy brute force, exit",
+    )
 
     sub.add_parser("workloads", help="list available workloads")
     return parser
@@ -823,6 +853,60 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_search(args: argparse.Namespace) -> int:
+    """Similarity-search demo (recall ladder) or served self-test."""
+    if args.quick:
+        from repro.serving.frontend import search_quick_selftest
+
+        return search_quick_selftest(
+            shards=args.shards, runtime=args.runtime
+        )
+    from repro.search import (
+        MagicHammingKernel,
+        build_planted_index,
+        recall_at_k,
+    )
+
+    kernel = MagicHammingKernel(word_bits=16)
+    kernel.self_test(np.random.default_rng(args.seed))
+    cost = kernel.measure_word_cost()
+    index, query_bits, _ = build_planted_index(
+        entries=args.entries,
+        dim=args.dim,
+        queries=args.queries,
+        seed=args.seed,
+    )
+    exact = [
+        index.top_k(query_bits[i], args.k, relax_bits=0)
+        for i in range(len(query_bits))
+    ]
+    print(
+        f"search: {args.entries} codewords x {args.dim} bits, "
+        f"{args.queries} quer{'y' if args.queries == 1 else 'ies'}, "
+        f"top-{args.k}"
+    )
+    print(
+        f"MAGIC Hamming kernel verified (16-bit witness): "
+        f"{cost.nor_ops:.0f} NORs, {cost.cycles:.0f} cycles per word"
+    )
+    print(f"{'relax':>6} {'shift':>6} {'recall@' + str(args.k):>10}")
+    for level in args.levels:
+        recalls = [
+            recall_at_k(
+                np.array(exact[i].ids),
+                np.array(
+                    index.top_k(query_bits[i], args.k, relax_bits=level).ids
+                ),
+            )
+            for i in range(len(query_bits))
+        ]
+        top = index.top_k(query_bits[0], args.k, relax_bits=level)
+        print(
+            f"{level:>6} {top.shift:>6} {float(np.mean(recalls)):>10.3f}"
+        )
+    return 0
+
+
 def _cmd_workloads() -> str:
     lines = ["paper workloads (Table 1):"]
     for w in all_workloads():
@@ -897,6 +981,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_slo(args)
     elif args.command == "trace":
         return _cmd_trace(args)
+    elif args.command == "search":
+        return _cmd_search(args)
     elif args.command == "faults":
         from repro.resilience import campaign_table, run_fault_campaign
 

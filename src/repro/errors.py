@@ -47,6 +47,12 @@ class KernelExecutionError(WorkloadError):
     supervision code can treat every kernel failure uniformly."""
 
 
+class SearchError(ReproError):
+    """Similarity-search misuse: a query whose dimensionality does not match
+    the codebook, a non-positive (or oversized) ``k``, an empty codebook, or
+    a bit-vector wider than the Hamming kernel's crossbar word."""
+
+
 class QoSError(ReproError):
     """The adaptive tuner could not satisfy the quality-of-service target at
     any supported approximation level."""

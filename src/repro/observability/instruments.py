@@ -45,6 +45,9 @@ __all__ = [
     "record_reroute",
     "record_request_duration",
     "record_residue_mismatch",
+    "record_search_recall",
+    "record_search_request",
+    "record_search_topk",
     "record_resilience_degraded",
     "record_resilience_repair",
     "record_resilience_retry",
@@ -56,6 +59,7 @@ __all__ = [
     "record_worker_respawn",
     "record_worker_spawn",
     "set_build_info",
+    "set_codebook_size",
     "set_queue_depth",
 ]
 
@@ -268,6 +272,28 @@ class _Instruments:
             "repro_serving_result_evictions_total",
             "Results evicted from the ResultStore, by reason.",
             ("reason",),
+        )
+        # -- similarity search -----------------------------------------------
+        self.search_requests = registry.counter(
+            "repro_search_requests_total",
+            "`/search` retrievals executed, by terminal status.",
+            ("status",),
+        )
+        self.search_codebook_entries = registry.gauge(
+            "repro_search_codebook_entries",
+            "Codewords resident in the serving search index.",
+        )
+        self.search_topk = registry.histogram(
+            "repro_search_topk_seconds",
+            "Top-k evaluation latency (distance sweep + ranked reduce).",
+            (),
+            DEFAULT_LATENCY_BUCKETS,
+        )
+        self.search_recall = registry.gauge(
+            "repro_search_recall",
+            "Most recent recall@k measured against the exact ranking, by "
+            "relax rung.",
+            ("relax_bits",),
         )
         self.request_duration = registry.histogram(
             "repro_request_duration_seconds",
@@ -562,6 +588,37 @@ def record_result_eviction(reason: str, count: int = 1) -> None:
     inst = _instruments()
     if inst is not None and count:
         inst.result_evictions.labels(reason=reason).inc(count)
+
+
+# -- similarity search --------------------------------------------------------
+
+
+def record_search_request(status: str) -> None:
+    """Count one `/search` retrieval by terminal status."""
+    inst = _instruments()
+    if inst is not None:
+        inst.search_requests.labels(status=status).inc()
+
+
+def set_codebook_size(entries: int) -> None:
+    """Publish the resident codebook size of the serving search index."""
+    inst = _instruments()
+    if inst is not None:
+        inst.search_codebook_entries.set(float(entries))
+
+
+def record_search_topk(seconds: float) -> None:
+    """Observe one top-k evaluation latency."""
+    inst = _instruments()
+    if inst is not None:
+        inst.search_topk.observe(seconds)
+
+
+def record_search_recall(relax_bits: int, recall: float) -> None:
+    """Publish a measured recall@k for one relax rung."""
+    inst = _instruments()
+    if inst is not None:
+        inst.search_recall.labels(relax_bits=relax_bits).set(float(recall))
 
 
 def record_request_duration(seconds: float, trace_id: str | None = None) -> None:

@@ -1,0 +1,36 @@
+"""In-memory binarized similarity search (XNOR+popcount via MAGIC).
+
+The subsystem has three layers: :mod:`~repro.search.codebook` packs
+bit-vectors into the 64-bit words resident in crossbar blocks and
+evaluates exact Hamming distances; :mod:`~repro.search.kernel` is the
+MAGIC-NOR witness and per-word price of that evaluation; and
+:mod:`~repro.search.index` ranks codewords with exact/approximate tiers
+keyed to the relax-bits QoS ladder.  The `Similarity` workload
+(:mod:`repro.workloads.similarity`) and the serving `/search` endpoint
+build on these.
+"""
+
+from repro.search.codebook import WORD_BITS, BinaryCodebook, pack_bits, popcount
+from repro.search.index import (
+    SearchIndex,
+    TopK,
+    build_planted_index,
+    default_search_index,
+    distance_shift,
+    recall_at_k,
+)
+from repro.search.kernel import MagicHammingKernel
+
+__all__ = [
+    "WORD_BITS",
+    "BinaryCodebook",
+    "MagicHammingKernel",
+    "SearchIndex",
+    "TopK",
+    "build_planted_index",
+    "default_search_index",
+    "distance_shift",
+    "pack_bits",
+    "popcount",
+    "recall_at_k",
+]

@@ -1,0 +1,139 @@
+"""One Hamming-distance word evaluation through the MAGIC op layer.
+
+The kernel stages two 64-bit operands in a crossbar block and computes
+their bitwise XOR entirely in-memory, one NOR at a time, through
+:class:`~repro.crossbar.controller.MemoryController` commands:
+
+========  =======================  ================================
+row       holds                    produced by
+========  =======================  ================================
+0         operand ``a``            ``WR``
+1         operand ``b``            ``WR``
+2         ``n1 = NOR(a, b)``       1 NOR per bit
+3         ``na = NOT a``           1 NOR per bit
+4         ``nb = NOT b``           1 NOR per bit
+5         ``n2 = NOR(na, nb)``     1 NOR per bit  (= ``a AND b``)
+6         ``xor = NOR(n1, n2)``    1 NOR per bit
+========  =======================  ================================
+
+XNOR (the match bit of the similarity-search literature) is one further
+NOT of row 6; we stop at XOR because ``distance = popcount(xor)`` is the
+quantity top-k sorts on.  All five stages share one bulk ``INIT`` cycle,
+and the peripheral popcount of the read-out row is modelled as a
+``TICK`` of ``ceil(log2 width)`` reduction cycles.
+
+The vectorized path (:class:`~repro.search.codebook.BinaryCodebook`)
+evaluates whole codebooks with the same bit semantics; this kernel is
+(a) the bit-identity witness for that claim and (b) the per-word price —
+:meth:`measure_word_cost` runs one evaluation on a fresh fabric and
+returns its :class:`~repro.core.cost.Cost`, which workloads scale by
+their word-comparison count (the tile-pricing idiom used throughout).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cost import Cost
+from repro.crossbar.block import BlockedCrossbar
+from repro.crossbar.controller import Command, MemoryController
+from repro.errors import SearchError
+from repro.search.codebook import WORD_BITS
+
+__all__ = ["MagicHammingKernel"]
+
+#: Scratch rows: 2 operands + 5 XOR stages (rows 2..6).
+_ROWS = 7
+
+
+class MagicHammingKernel:
+    """Hamming distance of two packed words via controller-driven NORs."""
+
+    def __init__(self, word_bits: int = WORD_BITS) -> None:
+        if not 1 <= word_bits <= WORD_BITS:
+            raise SearchError(
+                f"word_bits must be in [1, {WORD_BITS}], got {word_bits}"
+            )
+        self.word_bits = int(word_bits)
+        self.fabric = BlockedCrossbar(
+            num_blocks=2, rows=_ROWS, cols=self.word_bits
+        )
+        self.controller = MemoryController(self.fabric)
+
+    def program(self, a: int, b: int) -> list[Command]:
+        """The command stream for one ``distance(a, b)`` evaluation."""
+        w = self.word_bits
+        limit = 1 << w
+        if not (0 <= a < limit and 0 <= b < limit):
+            raise SearchError(
+                f"operands must be unsigned {w}-bit words, got {a}, {b}"
+            )
+        cols = range(w)
+        scratch = [(r, c) for r in range(2, _ROWS) for c in cols]
+        prog = [
+            Command("WR", (0, 0, int(a), w)),
+            Command("WR", (0, 1, int(b), w)),
+            Command("INIT", (0, scratch)),
+        ]
+        for c in cols:  # n1 = NOR(a, b)
+            prog.append(Command("NOR", (0, [(0, c), (1, c)], (2, c))))
+        for c in cols:  # na = NOT a
+            prog.append(Command("NOR", (0, [(0, c)], (3, c))))
+        for c in cols:  # nb = NOT b
+            prog.append(Command("NOR", (0, [(1, c)], (4, c))))
+        for c in cols:  # n2 = NOR(na, nb) = a AND b
+            prog.append(Command("NOR", (0, [(3, c), (4, c)], (5, c))))
+        for c in cols:  # xor = NOR(n1, n2)
+            prog.append(Command("NOR", (0, [(2, c), (5, c)], (6, c))))
+        prog.append(Command("RD", (0, 6, w)))
+        # Peripheral popcount: a log-depth reduction tree over the
+        # sensed row, charged as composite cycles.
+        prog.append(Command("TICK", (max(1, (w - 1).bit_length()),)))
+        return prog
+
+    def distance(self, a: int, b: int) -> int:
+        """Hamming distance of ``a`` and ``b``, computed in-memory."""
+        results = self.controller.run(self.program(a, b))
+        return int(results[0]).bit_count()
+
+    def measure_word_cost(self) -> Cost:
+        """The fabric cost of one word evaluation (fresh kernel, checked
+        against the arithmetic answer before the price is trusted)."""
+        kernel = MagicHammingKernel(self.word_bits)
+        mask = (1 << self.word_bits) - 1
+        a = 0x6D5A_B1E5_0F0F_3C3C & mask
+        b = 0x1234_5678_9ABC_DEF0 & mask
+        before = kernel.fabric.total_cost
+        got = kernel.distance(a, b)
+        want = int(a ^ b).bit_count()
+        if got != want:
+            raise SearchError(
+                f"MAGIC Hamming kernel self-check failed: {got} != {want}"
+            )
+        after = kernel.fabric.total_cost
+        return Cost(
+            cycles=after.cycles - before.cycles,
+            nor_ops=after.nor_ops - before.nor_ops,
+            cell_writes=after.cell_writes - before.cell_writes,
+            sa_reads=after.sa_reads - before.sa_reads,
+            maj_ops=after.maj_ops - before.maj_ops,
+            interconnect_bits=(
+                after.interconnect_bits - before.interconnect_bits
+            ),
+        )
+
+    def self_test(self, rng: np.random.Generator, trials: int = 16) -> None:
+        """Bit-identity of the in-memory evaluation against integer XOR
+        over random operand pairs; raises :class:`SearchError` on any
+        mismatch."""
+        limit = 1 << self.word_bits
+        for _ in range(int(trials)):
+            a = int(rng.integers(0, limit, dtype=np.uint64))
+            b = int(rng.integers(0, limit, dtype=np.uint64))
+            got = self.distance(a, b)
+            want = int(a ^ b).bit_count()
+            if got != want:
+                raise SearchError(
+                    f"in-memory distance({a:#x}, {b:#x}) = {got}, "
+                    f"expected {want}"
+                )

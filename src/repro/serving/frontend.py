@@ -11,6 +11,14 @@ Endpoints (all JSON unless noted):
   different payload under a used key is ``409``; admission rejection is
   ``429`` with a ``Retry-After`` header, an unknown workload or bad
   field is ``400``, no healthy shard is ``503``.
+- ``POST /search`` — body ``{"query": [0, 1, ...], "k": 10,
+  "relax_bits": 0, "tenant": ..., "priority": ..., "deadline_s": ...,
+  "idempotency_key": ...}`` (only ``query`` — a dim-length 0/1 vector —
+  required).  Admits one similarity search against the pool's seeded
+  binary codebook; same reply/ error contract as ``/submit`` (202
+  queued, 200 duplicate, 409 conflict, 400 on a malformed query or
+  ``k``).  The terminal result's ``search`` field carries the top-k ids,
+  (possibly quantized) Hamming distances and the relax rung's shift.
 - ``GET /result/<id>`` — ``200`` with the terminal
   :class:`~repro.serving.scheduler.ServeResult` once done, ``202
   {"status": "pending"}`` while queued/executing, ``404`` for unknown
@@ -44,6 +52,7 @@ from repro.errors import (
     DuplicateRequestError,
     JournalError,
     ReproError,
+    SearchError,
     ServingError,
     ShardUnavailableError,
 )
@@ -51,11 +60,21 @@ from repro.serving.http import PROMETHEUS_CONTENT_TYPE, JsonHttpServer
 from repro.serving.pool import CrossbarPool
 from repro.units import MIB
 
-__all__ = ["build_routes", "build_server", "quick_selftest"]
+__all__ = [
+    "build_routes",
+    "build_server",
+    "quick_selftest",
+    "search_quick_selftest",
+]
 
 _SUBMIT_FIELDS = {
     "workload", "relax_bits", "dataset_bytes", "tenant", "priority",
     "deadline_s", "idempotency_key",
+}
+
+_SEARCH_FIELDS = {
+    "query", "k", "relax_bits", "tenant", "priority", "deadline_s",
+    "idempotency_key",
 }
 
 
@@ -122,6 +141,75 @@ def _submit_handler(pool: CrossbarPool):
         trace_id = pool.trace_id_for(request_id) or ""
         # A duplicate submit is answered 200, not 202: nothing new was
         # queued — the id points at the original request.
+        return (200 if duplicate else 202), {
+            "id": request_id,
+            "status": "duplicate" if duplicate else "queued",
+            "trace_id": trace_id,
+        }
+
+    return handle
+
+
+def _search_handler(pool: CrossbarPool):
+    def handle(_match, body):
+        if not isinstance(body, dict) or "query" not in body:
+            return 400, {"error": 'body must be JSON with a "query" key'}
+        unknown = set(body) - _SEARCH_FIELDS
+        if unknown:
+            return 400, {"error": f"unknown fields {sorted(unknown)}"}
+        query = body["query"]
+        if not isinstance(query, list):
+            return 400, {"error": '"query" must be a list of 0/1 bits'}
+        try:
+            request_id, duplicate = pool.admit_search(
+                query,
+                k=int(body.get("k", 10)),
+                relax_bits=int(body.get("relax_bits", 0)),
+                tenant=str(body.get("tenant", "default")),
+                priority=(
+                    None
+                    if body.get("priority") is None
+                    else int(body["priority"])
+                ),
+                deadline_s=(
+                    None
+                    if body.get("deadline_s") is None
+                    else float(body["deadline_s"])
+                ),
+                idempotency_key=(
+                    None
+                    if body.get("idempotency_key") is None
+                    else str(body["idempotency_key"])
+                ),
+            )
+        except DuplicateRequestError as exc:
+            return 409, {
+                "error": str(exc),
+                "idempotency_key": exc.idempotency_key,
+                "id": exc.request_id,
+            }
+        except JournalError:
+            raise  # durability outage: a server fault, not a 400
+        except AdmissionRejectedError as exc:
+            return (
+                429,
+                {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                {"Retry-After": f"{exc.retry_after_s:.3f}"},
+            )
+        except ShardUnavailableError as exc:
+            if exc.retry_after_s is not None:
+                return (
+                    503,
+                    {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                    {"Retry-After": f"{exc.retry_after_s:.3f}"},
+                )
+            return 503, {"error": str(exc)}
+        except (SearchError, ServingError, ValueError, TypeError) as exc:
+            # A malformed query/k is the client's fault: self-correcting 400.
+            return 400, {"error": str(exc)}
+        except ReproError as exc:
+            return 400, {"error": f"{type(exc).__name__}: {exc}"}
+        trace_id = pool.trace_id_for(request_id) or ""
         return (200 if duplicate else 202), {
             "id": request_id,
             "status": "duplicate" if duplicate else "queued",
@@ -206,6 +294,7 @@ def build_routes(pool: CrossbarPool):
     """The frontend route table over one pool."""
     return [
         ("POST", re.compile(r"/submit/?$"), _submit_handler(pool)),
+        ("POST", re.compile(r"/search/?$"), _search_handler(pool)),
         (
             "GET",
             re.compile(r"/result/(?P<id>[A-Za-z0-9._:-]+)/?$"),
@@ -484,3 +573,110 @@ def _selftest_journal_restart(
                 f"idempotency index not durable: {status} {again}"
             )
     return failures
+
+
+def search_quick_selftest(shards: int = 2, runtime: str = "thread") -> int:
+    """Boot a real server, round-trip `/search`, assert exactness.
+
+    The client side rebuilds the pool's codebook from the same seed
+    (:func:`~repro.search.index.default_search_index` is deterministic in
+    the seed alone) and brute-forces the exact top-k with numpy — at
+    ``relax_bits = 0`` the served ids and distances must match it
+    bit-for-bit.  Also exercises the duplicate-suppression path, a 400 on
+    a malformed query, and the trace timeline of a search request.  The
+    CI smoke behind ``repro search --quick``; returns a process exit
+    code.
+    """
+    import numpy as np
+
+    from repro.search import default_search_index
+
+    pool = CrossbarPool(shards=shards, tile_elements=1 << 9, runtime=runtime)
+    server = build_server(pool)
+    failures: list[str] = []
+    with pool, server:
+        base = server.url
+        index = default_search_index(seed=pool.seed)
+        rng = np.random.default_rng(42)
+        query = rng.integers(0, 2, index.dim).tolist()
+        k = 10
+        status, reply = _http_json(
+            f"{base}/search", {"query": query, "k": k, "relax_bits": 0}
+        )
+        if status != 202 or "id" not in reply:
+            failures.append(f"search submit: {status} {reply}")
+            result = None
+        else:
+            request_id = reply["id"]
+            result = None
+            for _ in range(600):
+                status, result = _http_json(f"{base}/result/{request_id}")
+                if status == 200:
+                    break
+                time.sleep(0.05)
+            if status != 200:
+                failures.append(f"search never completed: {status} {result}")
+                result = None
+        if result is not None:
+            served = result.get("search") or {}
+            # The ground truth, computed client-side with plain numpy:
+            # exact Hamming distances, stable argsort.
+            distances = index.codebook.distances(np.asarray(query))
+            order = np.argsort(distances, kind="stable")[:k]
+            exact_ids = [int(i) for i in order]
+            exact_distances = [int(d) for d in distances[order]]
+            if served.get("ids") != exact_ids:
+                failures.append(
+                    f"served ids {served.get('ids')} != brute force "
+                    f"{exact_ids}"
+                )
+            if served.get("distances") != exact_distances:
+                failures.append(
+                    f"served distances != brute force: "
+                    f"{served.get('distances')} vs {exact_distances}"
+                )
+            if served.get("shift") != 0:
+                failures.append(f"relax 0 must not quantize: {served}")
+            trace_id = result.get("trace_id")
+            if trace_id:
+                status, timeline = _http_json(f"{base}/trace/{trace_id}")
+                kinds = {
+                    (event["layer"], event["kind"])
+                    for event in (timeline or {}).get("events", [])
+                }
+                if status != 200 or ("executor", "search") not in kinds:
+                    failures.append(
+                        f"search trace lacks executor event: {sorted(kinds)}"
+                    )
+            else:
+                failures.append("search result carries no trace_id")
+        # Duplicate suppression: same key + same payload returns the
+        # original id without queueing new work.
+        payload = {
+            "query": query, "k": k, "idempotency_key": "search-selftest",
+        }
+        status, first = _http_json(f"{base}/search", payload)
+        status2, again = _http_json(f"{base}/search", payload)
+        if status != 202 or status2 != 200 or again.get("id") != first.get(
+            "id"
+        ):
+            failures.append(
+                f"search duplicate suppression: {status} {status2} {again}"
+            )
+        # A malformed query is the client's fault: 400, not a crash.
+        status, bad = _http_json(f"{base}/search", {"query": [0, 1, 2]})
+        if status != 400:
+            failures.append(f"bad query should 400, got {status} {bad}")
+        status, bad = _http_json(f"{base}/search", {"query": query, "k": 0})
+        if status != 400:
+            failures.append(f"k=0 should 400, got {status} {bad}")
+    if failures:
+        for failure in failures:
+            print(f"SEARCH SELFTEST FAIL: {failure}")
+        return 1
+    print(
+        f"search selftest ok: top-{k} over {index.entries} codewords "
+        f"round-tripped through {shards} shard(s) over HTTP, ids and "
+        "distances bit-identical to numpy brute force"
+    )
+    return 0

@@ -12,7 +12,8 @@ the pool reconstructs exactly what it had promised:
 - ``{"type": "serve", "meta": {...}}`` — pool descriptor, once per boot;
 - ``{"type": "admitted", "id", "workload", "relax_bits",
   "dataset_bytes", "tenant", "priority", "deadline_s",
-  "idempotency_key", "fingerprint", "trace_id"}`` — written *after* the
+  "idempotency_key", "fingerprint", "trace_id"[, "search"]}`` — written
+  *after* the
   scheduler accepted the request and *before* the id is returned to the
   client (the write-ahead part: an acknowledged id is always on disk);
 - ``{"type": "dispatched", "id", "shard"}`` — a shard picked it up;
@@ -65,6 +66,7 @@ def payload_fingerprint(
     dataset_bytes: int,
     tenant: str,
     priority: int,
+    extra: dict | None = None,
 ) -> str:
     """Content hash of a submission payload.
 
@@ -72,36 +74,46 @@ def payload_fingerprint(
     to be treated as retries of the same request; a mismatch is a 409.
     Deadlines are excluded on purpose — a client retrying after a timeout
     naturally carries a fresher deadline for the *same* work.
+
+    ``extra`` folds endpoint-specific content into the hash — `/search`
+    passes a digest of the query vector and ``k``, so reusing a key with
+    a different query conflicts.  ``extra=None`` reproduces the historic
+    digest, keeping old journals' idempotency index valid.
     """
-    canon = json.dumps(
-        {
-            "workload": workload,
-            "relax_bits": int(relax_bits),
-            "dataset_bytes": int(dataset_bytes),
-            "tenant": tenant,
-            "priority": int(priority),
-        },
-        sort_keys=True,
-        separators=(",", ":"),
-    )
+    body = {
+        "workload": workload,
+        "relax_bits": int(relax_bits),
+        "dataset_bytes": int(dataset_bytes),
+        "tenant": tenant,
+        "priority": int(priority),
+    }
+    if extra:
+        body["extra"] = extra
+    canon = json.dumps(body, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
 
 
 def result_digest(result: dict) -> str:
     """Content digest of a terminal result's *deterministic* payload.
 
-    Covers the id, status, error and the measured point; excludes timing
-    fields (queue wait, service time, batch size, shard) that legitimately
-    differ between a first execution and a deterministic replay.  Equal
-    digests therefore certify bit-identical measurements.
+    Covers the id, status, error and the measured point (plus the top-k
+    payload for search requests); excludes timing fields (queue wait,
+    service time, batch size, shard) that legitimately differ between a
+    first execution and a deterministic replay.  Equal digests therefore
+    certify bit-identical measurements.
     """
+    body = {
+        "id": result.get("id"),
+        "status": result.get("status"),
+        "error": result.get("error"),
+        "point": result.get("point"),
+    }
+    if result.get("search") is not None:
+        # Folded in only when present, so pre-search journals' stored
+        # digests stay reproducible by this version.
+        body["search"] = result["search"]
     canon = json.dumps(
-        {
-            "id": result.get("id"),
-            "status": result.get("status"),
-            "error": result.get("error"),
-            "point": result.get("point"),
-        },
+        body,
         sort_keys=True,
         separators=(",", ":"),
     )
@@ -143,6 +155,9 @@ class JournalEntry:
     #: ``dispatched`` records seen (how many times a shard picked it up
     #: before the crash — diagnostic, not behavioural).
     dispatches: int
+    #: `/search` payload (query + k) for search requests, or None —
+    #: a replay must re-run the *same* retrieval.
+    search: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -206,6 +221,7 @@ def load_request_journal(path: str) -> RequestJournalState:
                 fingerprint=record.get("fingerprint"),
                 trace_id=record.get("trace_id", ""),
                 dispatches=0,
+                search=record.get("search"),
             )
             entries[request_id] = entry
             max_seq = max(max_seq, _id_sequence(request_id))
@@ -300,6 +316,11 @@ class RequestJournal:
                 "fingerprint": fingerprint,
                 "trace_id": (
                     request.trace.trace_id if request.trace else ""
+                ),
+                **(
+                    {"search": request.search}
+                    if request.search is not None
+                    else {}
                 ),
             }
         )

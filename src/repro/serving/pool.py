@@ -37,24 +37,33 @@ generators.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.core.config import APIMConfig
 from repro.errors import (
     DuplicateRequestError,
     JournalError,
+    SearchError,
     ServingError,
     ShardUnavailableError,
+    WorkloadError,
 )
 from repro.observability.instruments import (
     record_idempotency,
     record_journal_recovery,
     record_request_duration,
     record_reroute,
+    record_search_recall,
+    record_search_request,
+    record_search_topk,
     record_served,
     record_shard_health,
+    set_codebook_size,
 )
 from repro.observability.sketch import LatencyAnalytics
 from repro.observability.slo import BurnRateEvaluator, SLOPolicy
@@ -68,6 +77,7 @@ from repro.serving.journal import (
     payload_fingerprint,
     serve_result_from_dict,
 )
+from repro.search import SearchIndex, default_search_index, recall_at_k
 from repro.serving.runtime import ShardRuntime, resolve_runtime
 from repro.serving.scheduler import (
     BatchingScheduler,
@@ -79,7 +89,12 @@ from repro.serving.scheduler import (
 from repro.units import MIB
 from repro.workloads import workload_by_name
 
-__all__ = ["Client", "CrossbarPool", "PoolShard"]
+__all__ = ["Client", "CrossbarPool", "PoolShard", "SEARCH_WORKLOAD"]
+
+#: The workload name `/search` requests are accounted under — the
+#: Similarity workload is the campaign-grid face of the same retrieval
+#: kernel, so QoS policy, tracing and per-workload metrics line up.
+SEARCH_WORKLOAD = "Similarity"
 
 
 @dataclass
@@ -139,6 +154,7 @@ class CrossbarPool:
         journal: "RequestJournal | str | None" = None,
         result_capacity: int = 8192,
         result_ttl_s: float | None = None,
+        search_index: "SearchIndex | None" = None,
     ) -> None:
         if shards < 1:
             raise ServingError("pool needs at least one shard")
@@ -230,6 +246,11 @@ class CrossbarPool:
         self._recovered = False
         if self.journal is not None:
             self._idempotency.update(self.journal.recovered.idempotency)
+        # `/search` serves against one read-only index, built lazily on
+        # first use (seeded by the pool's seed, so every restart — and
+        # any client that knows the seed — reconstructs it exactly).
+        self._search_index = search_index
+        self._search_lock = threading.Lock()
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -319,6 +340,10 @@ class CrossbarPool:
                 # than expire on a stale clock.
                 deadline_at=None,
                 trace=trace,
+                # A journaled search request replays the same retrieval:
+                # the seeded index plus the journaled query/k make the
+                # replayed top-k bit-identical to the first life's.
+                search=entry.search,
             )
             self.results.register(request_id)
             try:
@@ -473,8 +498,10 @@ class CrossbarPool:
         """
         try:
             workload_by_name(workload)  # reject unknown names at the door
-        except KeyError as exc:
-            raise ServingError(f"unknown workload {workload!r}") from exc
+        except WorkloadError as exc:
+            # The registry's message enumerates every registered name;
+            # forward it so the frontend's 400 is self-correcting.
+            raise ServingError(str(exc)) from exc
         if relax_bits < 0:
             raise ServingError(f"relax_bits must be non-negative: {relax_bits}")
         if dataset_bytes <= 0:
@@ -531,6 +558,109 @@ class CrossbarPool:
             self._idempotency[idempotency_key] = (request_id, fingerprint)
             return request_id, False
 
+    # -- similarity search ----------------------------------------------------
+
+    def search_index(self) -> SearchIndex:
+        """The pool's serving index, built lazily on first use.
+
+        Deterministic in ``self.seed`` (see
+        :func:`~repro.search.index.default_search_index`) unless a
+        pre-built index was injected at construction.
+        """
+        with self._search_lock:
+            if self._search_index is None:
+                self._search_index = default_search_index(seed=self.seed)
+            set_codebook_size(self._search_index.entries)
+            return self._search_index
+
+    def admit_search(
+        self,
+        query,
+        k: int = 10,
+        relax_bits: int = 0,
+        tenant: str = "default",
+        priority: int | None = None,
+        deadline_s: float | None = None,
+        block: bool = False,
+        idempotency_key: str | None = None,
+    ) -> tuple[str, bool]:
+        """Admit one `/search` retrieval; returns ``(request_id, duplicate)``.
+
+        ``query`` is a dim-length 0/1 bit-vector.  Validation happens at
+        the door (a bad query or ``k`` raises
+        :class:`~repro.errors.SearchError` — the frontend's 400) and the
+        accepted request rides the exact same lifecycle as ``admit``:
+        write-ahead journal, idempotency index, tracing, batching, one
+        terminal :class:`~repro.serving.scheduler.ServeResult` whose
+        ``search`` field carries the top-k.
+        """
+        index = self.search_index()
+        query_bits = np.asarray(query)
+        index.codebook.pack_query(query_bits)  # validates shape/values
+        k = index.validate_k(k)
+        if relax_bits < 0:
+            raise ServingError(
+                f"relax_bits must be non-negative: {relax_bits}"
+            )
+        if deadline_s is not None and deadline_s <= 0:
+            raise ServingError(f"deadline_s must be positive: {deadline_s}")
+        resolved_priority = (
+            self.serving_config.default_priority
+            if priority is None
+            else int(priority)
+        )
+        # The journaled payload: enough to replay the identical retrieval
+        # after a crash (the index itself is reconstructed from the seed).
+        search = {
+            "query": [int(b) for b in query_bits.ravel()],
+            "k": k,
+        }
+        dataset_bytes = index.entries * index.codebook.words_per_code * 8
+        if idempotency_key is None:
+            return (
+                self._admit_new(
+                    SEARCH_WORKLOAD, int(relax_bits), int(dataset_bytes),
+                    tenant, resolved_priority, deadline_s, block, None, None,
+                    search=search,
+                ),
+                False,
+            )
+        idempotency_key = str(idempotency_key)
+        if not idempotency_key or len(idempotency_key) > 256:
+            raise ServingError(
+                "idempotency_key must be a non-empty string of at most "
+                "256 characters"
+            )
+        query_digest = hashlib.sha256(
+            np.ascontiguousarray(query_bits.astype(np.uint8)).tobytes()
+        ).hexdigest()[:16]
+        fingerprint = payload_fingerprint(
+            SEARCH_WORKLOAD, int(relax_bits), int(dataset_bytes), tenant,
+            resolved_priority, extra={"k": k, "query": query_digest},
+        )
+        with self._idem_lock:
+            known = self._idempotency.get(idempotency_key)
+            if known is not None:
+                known_id, known_fp = known
+                if known_fp != fingerprint:
+                    record_idempotency("conflict")
+                    raise DuplicateRequestError(
+                        f"idempotency key {idempotency_key!r} was already "
+                        f"used by request {known_id!r} with a different "
+                        "payload",
+                        idempotency_key=idempotency_key,
+                        request_id=known_id,
+                    )
+                record_idempotency("hit")
+                return known_id, True
+            request_id = self._admit_new(
+                SEARCH_WORKLOAD, int(relax_bits), int(dataset_bytes),
+                tenant, resolved_priority, deadline_s, block,
+                idempotency_key, fingerprint, search=search,
+            )
+            self._idempotency[idempotency_key] = (request_id, fingerprint)
+            return request_id, False
+
     def _admit_new(
         self,
         workload: str,
@@ -542,6 +672,7 @@ class CrossbarPool:
         block: bool,
         idempotency_key: str | None,
         fingerprint: str | None,
+        search: dict | None = None,
     ) -> str:
         """Queue one validated request; returns the acknowledged id."""
         if self._draining:
@@ -574,6 +705,7 @@ class CrossbarPool:
                 else self.scheduler.clock() + deadline_s
             ),
             trace=trace,
+            search=search,
         )
         self.traces.bind(request.id, trace.trace_id)
         trace.event(
@@ -743,6 +875,58 @@ class CrossbarPool:
             )
         return point, point.status, point.attempts, None
 
+    def _execute_search(
+        self, shard: PoolShard, request: ServeRequest
+    ) -> tuple:
+        """Run one `/search` retrieval against the pool's index.
+
+        Always executes in the serving process — the index is read-only
+        numpy shared by every shard, so there is no state to isolate and
+        nothing for the subprocess frame protocol to ship.  Returns
+        ``(search_out, status, attempts, error)`` mirroring the executor
+        contract shape (the measured point slot is the search payload).
+        """
+        index = self.search_index()
+        payload = request.search or {}
+        started = time.monotonic()
+        try:
+            with use_trace(request.trace):
+                query_bits = np.asarray(
+                    payload.get("query", ()), dtype=np.uint8
+                )
+                k = int(payload.get("k", 10))
+                top = index.top_k(query_bits, k, request.relax_bits)
+                recall = 1.0
+                if top.shift > 0:
+                    exact = index.top_k(query_bits, k, relax_bits=0)
+                    recall = recall_at_k(
+                        np.array(exact.ids), np.array(top.ids)
+                    )
+                request.trace_event(
+                    "executor", "search",
+                    shard=shard.index, k=k, shift=top.shift,
+                    entries=index.entries,
+                    recall=round(recall, 4),
+                )
+        except SearchError as exc:
+            # A journaled payload this index cannot serve (foreign dim,
+            # oversized k): terminal error, never a crash loop.
+            record_search_request("error")
+            return None, "error", 1, f"SearchError: {exc}"
+        elapsed = time.monotonic() - started
+        record_search_request("ok")
+        record_search_topk(elapsed)
+        record_search_recall(request.relax_bits, recall)
+        search_out = {
+            **top.to_dict(),
+            "k": k,
+            "relax_bits": request.relax_bits,
+            "recall_vs_exact": recall,
+            "entries": index.entries,
+            "dim": index.dim,
+        }
+        return search_out, "ok", 1, None
+
     def _run_request(
         self,
         shard: PoolShard,
@@ -781,10 +965,20 @@ class CrossbarPool:
         )
         self._journal_dispatched(request, shard.index)
         start = time.monotonic()
+        search_out = None
         try:
-            point, status, attempts, error = (execute or self._execute_local)(
-                shard, request
-            )
+            if request.search is not None:
+                # Search always runs in-process against the shared
+                # read-only index — never through the pluggable executor
+                # (the subprocess frame protocol stays point-shaped).
+                point = None
+                search_out, status, attempts, error = self._execute_search(
+                    shard, request
+                )
+            else:
+                point, status, attempts, error = (
+                    execute or self._execute_local
+                )(shard, request)
         except Exception as exc:  # the executor contract says "never";
             point = None  # this is the belt-and-braces terminal path.
             status = "error"
@@ -819,6 +1013,7 @@ class CrossbarPool:
             point=point,
             error=error,
             trace_id=trace_id,
+            search=search_out,
         )
         self._complete(result)
         record_served(shard.index, request.tenant, status, service_s)
@@ -881,5 +1076,20 @@ class Client:
             dataset_bytes=dataset_bytes,
             priority=priority,
             deadline_s=deadline_s,
+        )
+        return self.result(request_id, timeout=timeout)
+
+    def search(
+        self,
+        query,
+        k: int = 10,
+        relax_bits: int = 0,
+        timeout: float | None = 60.0,
+        **kwargs,
+    ) -> ServeResult:
+        """Submit one similarity search and block for its result."""
+        kwargs.setdefault("tenant", self.tenant)
+        request_id, _ = self.pool.admit_search(
+            query, k=k, relax_bits=relax_bits, **kwargs
         )
         return self.result(request_id, timeout=timeout)

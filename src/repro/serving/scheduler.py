@@ -123,6 +123,9 @@ class ServeRequest:
     reroutes: int = 0
     #: The request's trace context (set at pool admission), or None.
     trace: "TraceContext | None" = None
+    #: Similarity-search payload (``{"query": [...], "k": int}``) for
+    #: `/search` requests, or None for campaign pricing requests.
+    search: dict | None = None
 
     @property
     def batch_key(self) -> tuple[str, int, int]:
@@ -154,6 +157,9 @@ class ServeResult:
     error: str | None = None
     #: Trace id for ``GET /trace/<id>`` (empty when tracing was off).
     trace_id: str = ""
+    #: Top-k retrieval (``{"ids": [...], "distances": [...], ...}``) for
+    #: `/search` requests, or None for campaign pricing requests.
+    search: dict | None = None
 
     def __post_init__(self) -> None:
         if self.status not in RESULT_STATUSES:

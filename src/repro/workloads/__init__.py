@@ -1,25 +1,45 @@
-"""The six OpenCL applications of the paper's evaluation (S14-S15).
+"""The paper's six OpenCL applications plus the extension families.
 
 Each workload is a real fixed-point kernel whose every multiplication and
 addition executes through an :class:`~repro.core.engine.APIMEngine`, plus
 the metadata the GPU baseline needs (operation counts, pass structure and
 a memory-address trace for the cache simulator).
 
-Workloads: Sobel, Robert, Sharpen (image stencils on synthetic
-Caltech-101-like images), FFT, DwtHaar1D and QuasiRandom (signal kernels
-on synthetic inputs), per paper Section 4.1.  Square roots are replaced by
+Paper workloads (Section 4.1): Sobel, Robert, Sharpen (image stencils on
+synthetic Caltech-101-like images), FFT, DwtHaar1D and QuasiRandom
+(signal kernels on synthetic inputs).  Square roots are replaced by
 add/multiply compositions, as the paper does in its OpenCL sources.
+Extensions: GEMM, the quantised MLP (`NeuralNet`), binarized Hamming
+similarity search (`Similarity`) and the Q8 conv1d+dense layer
+(`QuantizedLayer`).
+
+Workload classes self-register through the
+:func:`~repro.workloads.registry.register_workload` decorator; the
+import order below fixes the registry (and therefore grid) order.
+Lookup by name goes through :func:`workload_by_name`, which raises
+:class:`~repro.errors.WorkloadError` enumerating every registered name.
 """
 
 from repro.workloads.base import Workload, WorkloadData
+from repro.workloads.registry import (
+    register_workload,
+    workload_by_name,
+    workload_names,
+)
+
+# Paper order first, then extensions: registration order is grid order.
 from repro.workloads.sobel import SobelWorkload
 from repro.workloads.robert import RobertWorkload
-from repro.workloads.sharpen import SharpenWorkload
 from repro.workloads.fft import FFTWorkload
 from repro.workloads.dwt_haar import DwtHaar1DWorkload
+from repro.workloads.sharpen import SharpenWorkload
 from repro.workloads.quasi_random import QuasiRandomWorkload
 from repro.workloads.gemm import GEMMWorkload
 from repro.workloads.neural import NeuralWorkload
+from repro.workloads.similarity import SimilarityWorkload
+from repro.workloads.quantized import QuantizedLayerWorkload
+
+from repro.workloads.registry import all_workloads, extension_workloads
 
 __all__ = [
     "Workload",
@@ -32,36 +52,11 @@ __all__ = [
     "QuasiRandomWorkload",
     "GEMMWorkload",
     "NeuralWorkload",
+    "SimilarityWorkload",
+    "QuantizedLayerWorkload",
     "all_workloads",
     "extension_workloads",
+    "register_workload",
     "workload_by_name",
+    "workload_names",
 ]
-
-
-def all_workloads() -> list[Workload]:
-    """One instance of each of the paper's six applications."""
-    return [
-        SobelWorkload(),
-        RobertWorkload(),
-        FFTWorkload(),
-        DwtHaar1DWorkload(),
-        SharpenWorkload(),
-        QuasiRandomWorkload(),
-    ]
-
-
-def extension_workloads() -> list[Workload]:
-    """Workloads beyond the paper's six: the GEMM and neural-inference
-    kernels its introduction motivates."""
-    return [GEMMWorkload(), NeuralWorkload()]
-
-
-def workload_by_name(name: str) -> Workload:
-    """Look a workload up by its (case-insensitive) name, including the
-    extension workloads."""
-    candidates = all_workloads() + extension_workloads()
-    for workload in candidates:
-        if workload.name.lower() == name.lower():
-            return workload
-    known = ", ".join(w.name for w in candidates)
-    raise KeyError(f"unknown workload {name!r}; known: {known}")

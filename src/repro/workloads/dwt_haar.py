@@ -22,6 +22,7 @@ from repro.baselines.gpu import WorkloadProfile
 from repro.core.engine import APIMEngine
 from repro.errors import WorkloadError
 from repro.workloads.base import Workload, WorkloadData
+from repro.workloads.registry import register_workload
 from repro.workloads.datagen import power_of_two_length, smooth_noisy_signal
 
 __all__ = ["DwtHaar1DWorkload"]
@@ -31,6 +32,7 @@ INV_SQRT2_Q15 = 23170
 Q15_BITS = 15
 
 
+@register_workload
 class DwtHaar1DWorkload(Workload):
     """Multi-level Haar DWT over synthetic 8-bit signals."""
 

@@ -26,6 +26,7 @@ from repro.baselines.gpu import WorkloadProfile
 from repro.core.engine import APIMEngine
 from repro.errors import WorkloadError
 from repro.workloads.base import Workload, WorkloadData
+from repro.workloads.registry import register_workload
 from repro.workloads.datagen import power_of_two_length, uniform_samples
 
 __all__ = ["FFTWorkload"]
@@ -43,6 +44,7 @@ def _bit_reverse_indices(n: int) -> np.ndarray:
     return reversed_indices
 
 
+@register_workload
 class FFTWorkload(Workload):
     """Radix-2 fixed-point FFT over synthetic complex signals."""
 

@@ -18,10 +18,12 @@ from repro.baselines.gpu import WorkloadProfile
 from repro.core.engine import APIMEngine
 from repro.errors import WorkloadError
 from repro.workloads.base import Workload, WorkloadData
+from repro.workloads.registry import register_workload
 
 __all__ = ["GEMMWorkload"]
 
 
+@register_workload(category="extension")
 class GEMMWorkload(Workload):
     """Square fixed-point GEMM via rank-1 accumulation."""
 

@@ -19,6 +19,7 @@ from repro.baselines.gpu import WorkloadProfile
 from repro.core.engine import APIMEngine
 from repro.errors import WorkloadError
 from repro.workloads.base import Workload, WorkloadData
+from repro.workloads.registry import register_workload
 
 __all__ = ["NeuralWorkload"]
 
@@ -31,6 +32,7 @@ CLASSES = 4
 Q = 8
 
 
+@register_workload(category="extension")
 class NeuralWorkload(Workload):
     """MLP (16-24-4, ReLU) inference over synthetic Gaussian clusters."""
 

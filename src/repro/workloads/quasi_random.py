@@ -21,6 +21,7 @@ import numpy as np
 from repro.baselines.gpu import WorkloadProfile
 from repro.core.engine import APIMEngine
 from repro.workloads.base import Workload, WorkloadData
+from repro.workloads.registry import register_workload
 from repro.workloads.datagen import halton_indices
 
 __all__ = ["QuasiRandomWorkload"]
@@ -35,6 +36,7 @@ COORD_BITS = 30
 DIGITS = 8
 
 
+@register_workload
 class QuasiRandomWorkload(Workload):
     """Halton low-discrepancy sequence via MAC chains."""
 

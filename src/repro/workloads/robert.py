@@ -17,6 +17,7 @@ import numpy as np
 from repro.baselines.gpu import WorkloadProfile
 from repro.core.engine import APIMEngine
 from repro.workloads.base import Workload, WorkloadData
+from repro.workloads.registry import register_workload
 from repro.workloads.images import image_shape_for, synthetic_image
 from repro.workloads.stencil import COEFF_BITS, convolve2d, convolve2d_exact
 
@@ -26,6 +27,7 @@ RX = np.array([[1, 0], [0, -1]], dtype=np.int64)
 RY = np.array([[0, 1], [-1, 0]], dtype=np.int64)
 
 
+@register_workload
 class RobertWorkload(Workload):
     """2x2 Roberts-cross gradient magnitude over synthetic images."""
 

@@ -15,6 +15,7 @@ import numpy as np
 from repro.baselines.gpu import WorkloadProfile
 from repro.core.engine import APIMEngine
 from repro.workloads.base import Workload, WorkloadData
+from repro.workloads.registry import register_workload
 from repro.workloads.images import image_shape_for, synthetic_image
 from repro.workloads.stencil import COEFF_BITS, convolve2d, convolve2d_exact
 
@@ -23,6 +24,7 @@ __all__ = ["SharpenWorkload"]
 KERNEL = np.array([[0, -1, 0], [-1, 5, -1], [0, -1, 0]], dtype=np.int64)
 
 
+@register_workload
 class SharpenWorkload(Workload):
     """3x3 sharpening over synthetic natural images."""
 

@@ -18,6 +18,7 @@ import numpy as np
 from repro.baselines.gpu import WorkloadProfile
 from repro.core.engine import APIMEngine
 from repro.workloads.base import Workload, WorkloadData
+from repro.workloads.registry import register_workload
 from repro.workloads.images import image_shape_for, synthetic_image
 from repro.workloads.stencil import COEFF_BITS, convolve2d, convolve2d_exact
 
@@ -27,6 +28,7 @@ GX = np.array([[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]], dtype=np.int64)
 GY = GX.T.copy()
 
 
+@register_workload
 class SobelWorkload(Workload):
     """3x3 Sobel gradient magnitude over synthetic natural images."""
 

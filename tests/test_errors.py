@@ -31,6 +31,7 @@ from repro.errors import (
     QoSError,
     RecoveryError,
     ReproError,
+    SearchError,
     ServingError,
     ShardUnavailableError,
     SLOError,
@@ -56,6 +57,7 @@ ALL_ERRORS = [
     ProtocolError,
     QoSError,
     RecoveryError,
+    SearchError,
     ServingError,
     ShardUnavailableError,
     SLOError,
@@ -140,6 +142,17 @@ class TestHierarchy:
         with pytest.raises(KernelExecutionError) as info:
             APIMExecutor().run(ExplodingWorkload(), elements=8)
         assert isinstance(info.value.__cause__, ValueError)
+
+    def test_search_error_is_its_own_domain(self):
+        """Similarity-search misuse is neither a workload-construction
+        failure nor a serving failure: the `/search` frontend maps it to
+        HTTP 400 explicitly, and campaign code must not swallow it under
+        an ``except WorkloadError``."""
+        assert issubclass(SearchError, ReproError)
+        assert not issubclass(SearchError, WorkloadError)
+        assert not issubclass(SearchError, ServingError)
+        with pytest.raises(ReproError):
+            raise SearchError("query dim 63 != codebook dim 64")
 
     def test_serving_errors_subclass_serving_error(self):
         """One ``except ServingError`` covers the whole serving surface."""

@@ -1,4 +1,5 @@
-"""Tests for the extension workloads (GEMM, NeuralNet)."""
+"""Tests for the extension workloads (GEMM, NeuralNet, Similarity,
+QuantizedLayer)."""
 
 from __future__ import annotations
 
@@ -14,15 +15,19 @@ from repro.workloads import (
     workload_by_name,
 )
 
+RELAX_LADDER = (0, 4, 8, 16, 24, 32)
+
 
 class TestRegistry:
-    def test_two_extension_workloads(self):
+    def test_four_extension_workloads(self):
         names = {w.name for w in extension_workloads()}
-        assert names == {"GEMM", "NeuralNet"}
+        assert names == {"GEMM", "NeuralNet", "Similarity", "QuantizedLayer"}
 
     def test_lookup_includes_extensions(self):
         assert workload_by_name("gemm").name == "GEMM"
         assert workload_by_name("neuralnet").name == "NeuralNet"
+        assert workload_by_name("similarity").name == "Similarity"
+        assert workload_by_name("quantizedlayer").name == "QuantizedLayer"
 
     def test_paper_six_unchanged(self):
         from repro.workloads import all_workloads
@@ -146,3 +151,102 @@ class TestNeural:
         workload.run(engine, data)
         expected_macs = data.elements * (16 * 24 + 24 * 4)
         assert engine.mul_count == expected_macs
+
+
+class TestSimilarity:
+    @pytest.fixture(scope="class")
+    def sim_data(self):
+        w = workload_by_name("Similarity")
+        return w, w.generate(1 << 9, np.random.default_rng(13))
+
+    def test_exact_matches_reference(self, sim_data):
+        workload, data = sim_data
+        engine = APIMEngine()
+        out = workload.run(engine, data)
+        assert np.array_equal(out, workload.reference(data))
+
+    def test_exact_top_k_is_brute_force(self, sim_data):
+        # The served guarantee, asserted at the workload layer: at relax
+        # 0 the ranking equals a stable argsort of exact distances.
+        workload, data = sim_data
+        engine = APIMEngine()
+        distances = workload.run(engine, data)
+        ids = workload.top_k_ids(distances, k=10)
+        ref_ids = workload.top_k_ids(workload.reference(data), k=10)
+        assert np.array_equal(ids, ref_ids)
+
+    def test_hamming_cost_charged(self, sim_data):
+        workload, data = sim_data
+        engine = APIMEngine()
+        workload.run(engine, data)
+        assert engine.ledger.entry("hamming").nor_ops > 0
+
+    def test_recall_monotone_down_the_ladder(self, sim_data):
+        workload, data = sim_data
+        ref = workload.reference(data)
+        recalls = []
+        for m in RELAX_LADDER:
+            engine = APIMEngine(spec=ApproxSpec.last_stage(m))
+            out = workload.run(engine, data)
+            recalls.append(workload.recall_at_k(ref, out, k=10))
+        assert recalls[0] == 1.0
+        assert all(a >= b - 1e-9 for a, b in zip(recalls, recalls[1:]))
+        assert recalls[-1] < recalls[0]  # the far rung visibly bites
+        # Serving QoS floor: >= 0.95 through the first two relax rungs.
+        assert recalls[1] >= 0.95 and recalls[2] >= 0.95
+
+
+class TestQuantizedLayer:
+    @pytest.fixture(scope="class")
+    def q_data(self):
+        w = workload_by_name("QuantizedLayer")
+        return w, w.generate(256, np.random.default_rng(21))
+
+    def test_exact_matches_reference(self, q_data):
+        workload, data = q_data
+        engine = APIMEngine()
+        out = workload.run(engine, data)
+        assert np.array_equal(out, workload.reference(data))
+
+    def test_flip_rate_zero_exact_and_quasi_monotone(self, q_data):
+        workload, data = q_data
+        ref = workload.reference(data)
+        flips = []
+        for m in RELAX_LADDER:
+            engine = APIMEngine(spec=ApproxSpec.last_stage(m))
+            out = workload.run(engine, data)
+            flips.append(workload.decision_flip_rate(ref, out))
+        assert flips[0] == 0.0
+        assert all(a <= b + 0.02 for a, b in zip(flips, flips[1:]))
+
+    def test_flip_rate_validates_shapes(self, q_data):
+        workload, data = q_data
+        ref = workload.reference(data)
+        with pytest.raises(Exception):
+            workload.decision_flip_rate(ref, ref[: len(ref) // 2])
+
+
+class TestExtensionCampaignGrid:
+    def test_new_families_run_the_grid_direct_and_pooled(self):
+        """The two PR-8 families are first-class campaign citizens: the
+        (workload x relax) grid prices them, and the same grid through a
+        CrossbarPool agrees bit-for-bit with the direct run."""
+        from repro.runtime.campaign import run_campaign
+        from repro.serving.pool import CrossbarPool
+
+        workloads = ["Similarity", "QuantizedLayer"]
+        levels = [0, 8]
+        direct = run_campaign(workloads, levels, tile_elements=1 << 9)
+        assert len(direct.points) == 4
+        assert all(p.status == "ok" for p in direct.points)
+        with CrossbarPool(shards=2, tile_elements=1 << 9) as pool:
+            pooled = run_campaign(
+                workloads, levels, tile_elements=1 << 9, pool=pool
+            )
+        by_key = {(p.workload, p.relax_bits): p for p in direct.points}
+        for point in pooled.points:
+            twin = by_key[(point.workload, point.relax_bits)]
+            assert point.speedup == pytest.approx(twin.speedup, rel=1e-12)
+            assert point.qol_percent == pytest.approx(
+                twin.qol_percent, rel=1e-12
+            )

@@ -1,0 +1,90 @@
+"""Property tests of the similarity-search kernel (hypothesis-driven).
+
+Two invariants, pinned over arbitrary codebooks rather than hand-picked
+shapes:
+
+- **bit-identity**: the packed word-wise XOR+popcount distance equals
+  the :func:`numpy.unpackbits` reference for every codebook/query pair —
+  packing, padding and endianness introduce no error at any ``dim``
+  (including the awkward non-multiples of 8 and 64);
+- **stable ranking**: top-k is deterministic under ties — equal
+  (quantized) distances always rank by ascending codeword id, top-k
+  prefixes nest, and quantization never invents a distance the exact
+  tier didn't produce (it only drops low bits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.search import BinaryCodebook, SearchIndex, distance_shift
+
+# Codebooks as (entries, dim, seed): contents are seeded numpy draws —
+# hypothesis shrinks the *shape*, numpy supplies the bulk bits.
+codebook_shapes = st.tuples(
+    st.integers(1, 40),      # entries
+    st.integers(1, 200),     # dim, deliberately crossing 8/64 boundaries
+    st.integers(0, 2**32 - 1),
+)
+
+
+def _materialise(shape):
+    entries, dim, seed = shape
+    rng = np.random.default_rng(seed)
+    bits = rng.integers(0, 2, (entries, dim), dtype=np.uint8)
+    query = rng.integers(0, 2, dim, dtype=np.uint8)
+    return bits, query
+
+
+@settings(max_examples=60, deadline=None)
+@given(codebook_shapes)
+def test_packed_distances_bit_identical_to_unpackbits(shape):
+    bits, query = _materialise(shape)
+    book = BinaryCodebook.from_bits(bits)
+    packed = book.distances(query)
+    reference = book.reference_distances(query)
+    assert np.array_equal(packed, reference)
+    # And both agree with the direct definition on the raw bits.
+    direct = (bits != query[None, :]).sum(axis=1)
+    assert np.array_equal(packed, direct)
+
+
+@settings(max_examples=60, deadline=None)
+@given(codebook_shapes, st.integers(0, 32))
+def test_top_k_stable_and_quantization_only_drops_bits(shape, relax):
+    bits, query = _materialise(shape)
+    index = SearchIndex(BinaryCodebook.from_bits(bits))
+    k = min(10, index.entries)
+    top = index.top_k(query, k, relax_bits=relax)
+    shift = distance_shift(relax)
+    exact = index.codebook.distances(query)
+    # Reported distances are exactly the quantized exact distances.
+    for code_id, distance in zip(top.ids, top.distances):
+        assert distance == (int(exact[code_id]) >> shift) << shift
+    # Stable under ties: among equal quantized distances, ids ascend.
+    quantized = (exact >> shift) << shift
+    for (id_a, d_a), (id_b, d_b) in zip(
+        zip(top.ids, top.distances), list(zip(top.ids, top.distances))[1:]
+    ):
+        assert d_a <= d_b
+        if d_a == d_b:
+            assert id_a < id_b
+    # The result is the true quantized-distance minimum set: no codeword
+    # outside the top-k has a strictly smaller quantized distance than
+    # the worst member.
+    worst = top.distances[-1]
+    outside = np.delete(quantized, np.array(top.ids, dtype=int))
+    if outside.size:
+        assert outside.min() >= worst
+
+
+@settings(max_examples=40, deadline=None)
+@given(codebook_shapes)
+def test_top_k_prefixes_nest(shape):
+    bits, query = _materialise(shape)
+    index = SearchIndex(BinaryCodebook.from_bits(bits))
+    full = index.top_k(query, index.entries, relax_bits=0)
+    for k in range(1, min(index.entries, 8) + 1):
+        assert index.top_k(query, k, relax_bits=0).ids == full.ids[:k]

@@ -40,8 +40,11 @@ class TestRegistry:
         assert workload_by_name("sobel").name == "Sobel"
 
     def test_lookup_unknown_raises(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(WorkloadError) as info:
             workload_by_name("nonexistent")
+        # The registry's error enumerates every registered name.
+        assert "Sobel" in str(info.value)
+        assert "Similarity" in str(info.value)
 
     def test_kinds(self):
         kinds = {w.name: w.kind for w in WORKLOADS}
