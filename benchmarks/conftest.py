@@ -25,6 +25,13 @@ def pytest_addoption(parser):
         help="which shard runtimes the serving benches exercise "
         "(default: all)",
     )
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="scale long-running benches down to CI size (the fleet "
+        "replay shrinks from >=100k requests to a few thousand)",
+    )
 
 
 def pytest_collection_modifyitems(items):
@@ -37,6 +44,12 @@ def pytest_collection_modifyitems(items):
 def bench_rounds():
     """Rounds for pedantic benchmark runs (experiment drivers are slow)."""
     return 1
+
+
+@pytest.fixture(scope="session")
+def bench_quick(request) -> bool:
+    """True when ``--quick`` asked for the CI-sized arms."""
+    return request.config.getoption("--quick")
 
 
 @pytest.fixture(scope="session")

@@ -12,7 +12,35 @@ from dataclasses import dataclass
 from repro.analysis.experiments import Table1Result
 from repro.errors import ConfigurationError
 
-__all__ = ["ParetoPoint", "pareto_frontier", "operating_point"]
+__all__ = [
+    "ParetoPoint",
+    "non_dominated",
+    "operating_point",
+    "pareto_frontier",
+]
+
+
+def non_dominated(items: list, metrics) -> list:
+    """Strict non-domination filter over minimised objectives.
+
+    ``metrics(item)`` returns a tuple where *lower is better* in every
+    coordinate (negate a maximised objective).  An item is dominated when
+    another is no worse in every coordinate and strictly better in at
+    least one.  The quality/efficiency frontier below and the fleet DSE's
+    cost–latency frontier are both this filter under different metrics.
+    """
+    scored = [(item, tuple(metrics(item))) for item in items]
+    frontier = []
+    for candidate, cscore in scored:
+        dominated = any(
+            other is not candidate
+            and all(o <= c for o, c in zip(oscore, cscore))
+            and any(o < c for o, c in zip(oscore, cscore))
+            for other, oscore in scored
+        )
+        if not dominated:
+            frontier.append(candidate)
+    return frontier
 
 
 @dataclass(frozen=True)
@@ -40,27 +68,18 @@ def pareto_frontier(result: Table1Result, workload: str) -> list[ParetoPoint]:
             f"have {sorted(result.cells)}"
         )
     cells = result.cells[workload]
-    frontier = []
-    for candidate in cells:
-        dominated = any(
-            other is not candidate
-            and other.qol_percent <= candidate.qol_percent
-            and other.edp_improvement >= candidate.edp_improvement
-            and (
-                other.qol_percent < candidate.qol_percent
-                or other.edp_improvement > candidate.edp_improvement
-            )
-            for other in cells
+    frontier = [
+        ParetoPoint(
+            workload=workload,
+            relax_bits=candidate.relax_bits,
+            qol_percent=candidate.qol_percent,
+            edp_improvement=candidate.edp_improvement,
         )
-        if not dominated:
-            frontier.append(
-                ParetoPoint(
-                    workload=workload,
-                    relax_bits=candidate.relax_bits,
-                    qol_percent=candidate.qol_percent,
-                    edp_improvement=candidate.edp_improvement,
-                )
-            )
+        for candidate in non_dominated(
+            list(cells),
+            lambda cell: (cell.qol_percent, -cell.edp_improvement),
+        )
+    ]
     frontier.sort(key=lambda p: p.qol_percent)
     return frontier
 

@@ -17,7 +17,15 @@ Commands:
   and dump (or serve) the Prometheus scrape.
 - ``serve`` — boot the sharded serving frontend: a :class:`CrossbarPool`
   behind the JSON-over-HTTP API (``/submit``, ``/result/<id>``,
-  ``/trace/<id>``, ``/healthz``, ``/stats``, ``/metrics``).
+  ``/trace/<id>``, ``/healthz``, ``/stats``, ``/fleet``, ``/metrics``).
+  With ``--fleet-config FILE`` the pool geometry, shard count, batch
+  ceiling and autoscaler policy come from a DSE-selected fleet config.
+- ``fleet`` — the fleet control plane: run the offline design-space
+  exploration (sweep block geometry x interconnect x shard count x batch
+  ceiling, fold into a cost-latency Pareto frontier, write the
+  per-tenant ``--fleet-config`` selection), or ``--quick`` — force one
+  scale-up and one scale-down under a manual clock and assert ``/fleet``
+  reflects both.
 - ``slo`` — drive a request burst through a pool and report per-layer
   tail latency (p50/p95/p99/p999) plus multi-window burn-rate verdicts
   against an SLO policy.
@@ -233,6 +241,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="self-test (CI): boot on an ephemeral port, round-trip one "
         "workload over HTTP, verify the result, exit",
+    )
+    p.add_argument(
+        "--fleet-config", default=None, metavar="FILE",
+        help="boot from a DSE-selected fleet config (repro fleet): pool "
+        "geometry, shard count, batch ceiling and autoscaler policy",
+    )
+
+    p = sub.add_parser(
+        "fleet",
+        help="offline design-space exploration -> Pareto frontier -> "
+        "fleet config, or the autoscaler smoke test",
+    )
+    p.add_argument(
+        "-o", "--output", default="fleet.json",
+        help="fleet-config file to write (repro serve --fleet-config)",
+    )
+    p.add_argument(
+        "--block-rows", type=int, nargs="+", default=[256, 1024],
+        help="crossbar block heights to sweep",
+    )
+    p.add_argument(
+        "--interconnect-scales", type=float, nargs="+", default=[1.0, 4.0],
+        help="interconnect energy multipliers to sweep",
+    )
+    p.add_argument(
+        "--shard-counts", type=int, nargs="+", default=[1, 2, 4],
+        help="provisioned shard counts to sweep",
+    )
+    p.add_argument(
+        "--batch-sizes", type=int, nargs="+", default=[1, 8],
+        help="batch ceilings to sweep",
+    )
+    p.add_argument("--workloads", nargs="+", default=["Sobel"])
+    p.add_argument(
+        "--offered-rps", type=float, default=200.0,
+        help="offered load the serving model sizes for",
+    )
+    p.add_argument("--requests-per-point", type=int, default=3)
+    p.add_argument("--tile", type=int, default=1 << 8)
+    p.add_argument("--seed", type=int, default=2017)
+    p.add_argument(
+        "--tenant", action="append", default=None, metavar="NAME:PRIO:SLO_S",
+        help="tenant spec (repeatable), e.g. --tenant alice:0:0.5",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="self-test (CI): boot a pool+server on a manual clock, force "
+        "one scale-up and one scale-down, assert /fleet reflects both",
     )
 
     p = sub.add_parser(
@@ -632,9 +688,16 @@ def _serve_metrics(registry, port: int) -> None:  # pragma: no cover - manual
         return 200, to_prometheus(registry)
 
     routes = [("GET", re.compile(r"/(metrics/?)?$"), scrape)]
-    with JsonHttpServer(routes, host="localhost", port=port) as server:
+    # No ``with server:`` here — that starts a *background* serve loop,
+    # and running a second, foreground one on the same listener makes
+    # shutdown racy (the first loop to exit resets socketserver's
+    # shutdown flag before the other sees it).
+    server = JsonHttpServer(routes, host="localhost", port=port)
+    try:
         print(f"serving metrics at {server.url}/metrics (Ctrl-C to stop)")
         server.serve_forever(install_signal_handlers=True)
+    finally:
+        server.close()
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -660,19 +723,59 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return 2
         os.makedirs(args.journal, exist_ok=True)
         journal_path = os.path.join(args.journal, "requests.jsonl")
+    shards = args.shards
+    batch_size = args.batch_size
+    apim_config = None
+    fleet_document = None
+    if args.fleet_config is not None:
+        from repro.core.config import default_config
+        from repro.fleet import load_fleet_config
+
+        fleet_document = load_fleet_config(args.fleet_config)
+        point = fleet_document["pool"]
+        shards = point["shard_count"]
+        batch_size = point["max_batch_size"]
+        base = default_config()
+        apim_config = base.with_overrides(
+            block_rows=point["block_rows"],
+            e_interconnect=(
+                base.e_interconnect * point["interconnect_scale"]
+            ),
+        )
     config = ServingConfig(
-        max_batch_size=args.batch_size,
+        max_batch_size=batch_size,
         max_wait_s=args.max_wait,
         queue_capacity=args.queue_capacity,
     )
     pool = CrossbarPool(
-        shards=args.shards,
+        shards=shards,
         serving_config=config,
+        apim_config=apim_config,
         tile_elements=args.tile,
         seed=args.seed,
         runtime=args.runtime,
         journal=journal_path,
     )
+    if fleet_document is not None:
+        from repro.fleet import Autoscaler, FleetPolicy
+
+        policy_spec = fleet_document.get("autoscaler") or {}
+        Autoscaler(
+            pool,
+            policy=FleetPolicy(**policy_spec) if policy_spec else None,
+            tenant_priorities={
+                name: spec["priority"]
+                for name, spec in fleet_document.get("tenants", {}).items()
+            },
+        )
+        point = fleet_document["pool"]
+        print(
+            f"fleet config: {args.fleet_config} -> block_rows="
+            f"{point['block_rows']} interconnect x"
+            f"{point['interconnect_scale']:g} shards={shards} "
+            f"batch<={batch_size}, autoscaler attached",
+            flush=True,
+        )
 
     def graceful_drain():  # pragma: no cover - signal path
         # SIGTERM/SIGINT: close admission first (POST /submit answers 503
@@ -697,12 +800,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"{recovery['truncated']} torn record(s))",
                 flush=True,
             )
+        # Foreground serving: do NOT enter ``with server:`` — that spawns
+        # a background serve loop, and two loops on one listener race on
+        # shutdown (socketserver's exiting loop resets the shutdown flag
+        # before the survivor checks it, which hangs the process).
         server = build_server(pool, host=args.host, port=args.port)
-        with server:
+        try:
             # flush: the crash-test driver parses this line from a pipe
             # to learn the ephemeral port before any request is sent.
             print(
-                f"serving {args.shards} shard(s) [{args.runtime} runtime] "
+                f"serving {shards} shard(s) [{args.runtime} runtime] "
                 f"at {server.url} (POST /submit, GET /result/<id>, "
                 "/healthz, /stats, /metrics; Ctrl-C to stop)",
                 flush=True,
@@ -710,6 +817,67 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             server.serve_forever(
                 install_signal_handlers=True, on_signal=graceful_drain
             )
+        finally:
+            server.close()
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Offline DSE -> Pareto frontier -> fleet config (or the smoke)."""
+    if args.quick:
+        from repro.serving.frontend import fleet_quick_selftest
+
+        return fleet_quick_selftest()
+    from repro.fleet import run_dse, write_fleet_config
+
+    tenants = None
+    if args.tenant:
+        tenants = {}
+        for spec in args.tenant:
+            try:
+                name, priority, slo_s = spec.split(":")
+                tenants[name] = {
+                    "priority": int(priority),
+                    "latency_slo_s": float(slo_s),
+                }
+            except ValueError:
+                print(f"error: --tenant wants NAME:PRIO:SLO_S, got {spec!r}")
+                return 2
+    result = run_dse(
+        block_rows=tuple(args.block_rows),
+        interconnect_scales=tuple(args.interconnect_scales),
+        shard_counts=tuple(args.shard_counts),
+        batch_sizes=tuple(args.batch_sizes),
+        workloads=tuple(args.workloads),
+        tenants=tenants,
+        offered_rps=args.offered_rps,
+        requests_per_point=args.requests_per_point,
+        tile_elements=args.tile,
+        seed=args.seed,
+    )
+    print(
+        f"fleet DSE: {len(result.evaluations)} design point(s) at "
+        f"{args.offered_rps:g} req/s offered, frontier has "
+        f"{len(result.frontier)} non-dominated point(s)"
+    )
+    print(f"  {'design point':<22} {'latency':>10} {'cost':>10} {'util':>6}")
+    for ev in result.frontier:
+        print(
+            f"  {ev['key']:<22} {format_si(ev['latency_s'], 's'):>10} "
+            f"{ev['cost_w']:>9.3g}W {ev['utilisation']:>5.0%}"
+        )
+    for name, sel in sorted(result.selection.items()):
+        slo = (
+            "meets SLO"
+            if sel["meets_slo"]
+            else "MISSES SLO (fastest point chosen)"
+        )
+        print(
+            f"  tenant {name}: prio={sel['priority']} "
+            f"slo={sel['latency_slo_s']:g}s -> {sel['key']} ({slo})"
+        )
+    write_fleet_config(args.output, result)
+    print(f"fleet config written to {args.output}")
     return 0
 
 
@@ -977,6 +1145,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_metrics(args)
     elif args.command == "serve":
         return _cmd_serve(args)
+    elif args.command == "fleet":
+        return _cmd_fleet(args)
     elif args.command == "slo":
         return _cmd_slo(args)
     elif args.command == "trace":

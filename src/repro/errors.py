@@ -170,6 +170,30 @@ class DuplicateRequestError(ServingError):
         self.request_id = request_id
 
 
+class FleetError(ReproError):
+    """The fleet control plane failed: a live resize left the pool in an
+    inconsistent state, a design-space sweep produced no usable frontier,
+    or a fleet-config file is malformed.  Raw errors escaping the resize
+    path are normalised into this type (cause chained) so the autoscaler
+    loop can keep running after a failed decision."""
+
+
+class ScaleRejectedError(FleetError):
+    """A scale decision was refused before any shard was touched: the
+    request would leave ``[min_shards, max_shards]``, the cooldown window
+    has not elapsed, another resize is still in flight, or shrink found no
+    idle victim.  Carries the ``direction`` (``grow``/``shrink``/``shed``)
+    and the machine-readable ``reason`` so policy code and tests can
+    distinguish a bounded refusal from a resize failure."""
+
+    def __init__(
+        self, message: str, direction: str = "", reason: str = ""
+    ) -> None:
+        super().__init__(message)
+        self.direction = direction
+        self.reason = reason
+
+
 class ProtocolError(ServingError):
     """The shard-runtime frame protocol was violated: a torn or truncated
     frame, an oversized frame beyond the negotiated ceiling, a frame body

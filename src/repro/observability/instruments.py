@@ -36,6 +36,10 @@ __all__ = [
     "record_controller_command",
     "record_execution",
     "record_admission",
+    "record_fleet_decision",
+    "record_fleet_scale_event",
+    "record_fleet_shed",
+    "set_fleet_shards",
     "record_batch",
     "record_idempotency",
     "record_journal_append",
@@ -272,6 +276,26 @@ class _Instruments:
             "repro_serving_result_evictions_total",
             "Results evicted from the ResultStore, by reason.",
             ("reason",),
+        )
+        # -- fleet control plane ---------------------------------------------
+        self.fleet_shards = registry.gauge(
+            "repro_fleet_shards",
+            "Shards currently serving traffic in the pool.",
+        )
+        self.fleet_scale_events = registry.counter(
+            "repro_fleet_scale_events_total",
+            "Live-resize decisions executed, by direction (grow/shrink).",
+            ("direction",),
+        )
+        self.fleet_shed_tenants = registry.counter(
+            "repro_fleet_shed_tenants_total",
+            "Tenants shed under fast burn (lowest priority first).",
+        )
+        self.fleet_decision_seconds = registry.histogram(
+            "repro_fleet_decision_seconds",
+            "Wall-clock cost of one autoscaler decision (evaluate + act).",
+            (),
+            DEFAULT_LATENCY_BUCKETS,
         )
         # -- similarity search -----------------------------------------------
         self.search_requests = registry.counter(
@@ -588,6 +612,37 @@ def record_result_eviction(reason: str, count: int = 1) -> None:
     inst = _instruments()
     if inst is not None and count:
         inst.result_evictions.labels(reason=reason).inc(count)
+
+
+# -- fleet control plane ------------------------------------------------------
+
+
+def set_fleet_shards(count: int) -> None:
+    """Publish the pool's live shard count."""
+    inst = _instruments()
+    if inst is not None:
+        inst.fleet_shards.set(float(count))
+
+
+def record_fleet_scale_event(direction: str) -> None:
+    """Count one executed resize (``grow`` or ``shrink``)."""
+    inst = _instruments()
+    if inst is not None:
+        inst.fleet_scale_events.labels(direction=direction).inc()
+
+
+def record_fleet_shed(tenants: int = 1) -> None:
+    """Count tenants shed under fast burn."""
+    inst = _instruments()
+    if inst is not None and tenants:
+        inst.fleet_shed_tenants.inc(tenants)
+
+
+def record_fleet_decision(seconds: float) -> None:
+    """Observe the wall-clock cost of one autoscaler decision."""
+    inst = _instruments()
+    if inst is not None:
+        inst.fleet_decision_seconds.observe(seconds)
 
 
 # -- similarity search --------------------------------------------------------

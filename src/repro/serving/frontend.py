@@ -30,6 +30,9 @@ Endpoints (all JSON unless noted):
   the SLO error budget is not fast-burning, ``503`` otherwise.
 - ``GET /stats`` — scheduler depths, admission counters, per-shard
   served/failures/busy time.
+- ``GET /fleet`` — the fleet control plane: live shard set with
+  per-shard in-flight depth, shed tenants, and (when an autoscaler is
+  attached) its policy, counters and recent decisions.
 - ``GET /metrics`` — the process Prometheus scrape (text exposition).
 
 :func:`build_server` wires these routes into the shared
@@ -63,6 +66,7 @@ from repro.units import MIB
 __all__ = [
     "build_routes",
     "build_server",
+    "fleet_quick_selftest",
     "quick_selftest",
     "search_quick_selftest",
 ]
@@ -277,6 +281,13 @@ def _stats_handler(pool: CrossbarPool):
     return handle
 
 
+def _fleet_handler(pool: CrossbarPool):
+    def handle(_match, _body):
+        return 200, pool.fleet_status()
+
+    return handle
+
+
 def _metrics_handler():
     def handle(_match, _body):
         from repro.observability import default_registry, to_prometheus
@@ -307,6 +318,7 @@ def build_routes(pool: CrossbarPool):
         ),
         ("GET", re.compile(r"/healthz/?$"), _healthz_handler(pool)),
         ("GET", re.compile(r"/stats/?$"), _stats_handler(pool)),
+        ("GET", re.compile(r"/fleet/?$"), _fleet_handler(pool)),
         ("GET", re.compile(r"/metrics/?$"), _metrics_handler()),
     ]
 
@@ -678,5 +690,101 @@ def search_quick_selftest(shards: int = 2, runtime: str = "thread") -> int:
         f"search selftest ok: top-{k} over {index.entries} codewords "
         f"round-tripped through {shards} shard(s) over HTTP, ids and "
         "distances bit-identical to numpy brute force"
+    )
+    return 0
+
+
+def fleet_quick_selftest(workload: str = "Sobel") -> int:
+    """Boot a server, force one scale-up and one scale-down, assert
+    ``/fleet`` reflects both.
+
+    The pool runs on a :class:`~repro.runtime.supervisor.ManualClock`
+    (injected through the scheduler, which the autoscaler inherits), so
+    the grow → cooldown → shrink sequence is fully deterministic: one
+    forced ``slow_burn`` verdict grows 1→2 shards, a clock advance past
+    the cooldown plus one forced ``ok`` verdict shrinks 2→1.  Between the
+    resizes a real request round-trips over HTTP through the resized
+    pool.  The CI smoke behind ``repro fleet --quick``; returns a process
+    exit code.
+    """
+    from repro.fleet import Autoscaler, FleetPolicy
+    from repro.runtime.supervisor import ManualClock
+    from repro.serving.scheduler import BatchingScheduler, ServingConfig
+
+    clock = ManualClock()
+    serving_config = ServingConfig(max_wait_s=0.0)
+    pool = CrossbarPool(
+        shards=1,
+        tile_elements=1 << 9,
+        serving_config=serving_config,
+        scheduler=BatchingScheduler(serving_config, clock=clock),
+        runtime="thread",
+    )
+    policy = FleetPolicy(
+        min_shards=1, max_shards=2, grow_after=1, shrink_after=1,
+        cooldown_s=1.0, headroom_burn=1e9,
+    )
+    autoscaler = Autoscaler(pool, policy=policy)
+    server = build_server(pool)
+    failures: list[str] = []
+    with pool, server:
+        base = server.url
+        status, fleet = _http_json(f"{base}/fleet")
+        if status != 200 or fleet["shards"] != 1:
+            failures.append(f"initial /fleet: {status} {fleet}")
+        # One forced slow-burn verdict trips the grow (grow_after=1).
+        decision = autoscaler.step(verdict="slow_burn")
+        if decision["action"] != "grow":
+            failures.append(f"expected grow, got {decision}")
+        status, fleet = _http_json(f"{base}/fleet")
+        if (
+            status != 200
+            or fleet["shards"] != 2
+            or (fleet["autoscaler"] or {}).get("scale_ups") != 1
+        ):
+            failures.append(f"/fleet after grow: {status} {fleet}")
+        # A real request through the grown pool, over HTTP.
+        status, reply = _http_json(
+            f"{base}/submit", {"workload": workload, "relax_bits": 8}
+        )
+        if status != 202:
+            failures.append(f"submit: {status} {reply}")
+        else:
+            for _ in range(600):
+                status, result = _http_json(f"{base}/result/{reply['id']}")
+                if status == 200:
+                    break
+                time.sleep(0.05)
+            if status != 200:
+                failures.append(f"result never completed: {status}")
+        pool.wait_drained(timeout=10.0)
+        # Past the cooldown, one quiet verdict trips the shrink.
+        clock.advance(policy.cooldown_s + 0.1)
+        decision = autoscaler.step(verdict="ok")
+        if decision["action"] != "shrink":
+            failures.append(f"expected shrink, got {decision}")
+        status, fleet = _http_json(f"{base}/fleet")
+        if (
+            status != 200
+            or fleet["shards"] != 1
+            or (fleet["autoscaler"] or {}).get("scale_downs") != 1
+        ):
+            failures.append(f"/fleet after shrink: {status} {fleet}")
+        actions = [
+            d["action"]
+            for d in (fleet.get("autoscaler") or {}).get(
+                "recent_decisions", []
+            )
+        ]
+        if "grow" not in actions or "shrink" not in actions:
+            failures.append(f"/fleet decision log incomplete: {actions}")
+    if failures:
+        for failure in failures:
+            print(f"FLEET SELFTEST FAIL: {failure}")
+        return 1
+    print(
+        "fleet selftest ok: scale-up and scale-down under a manual clock, "
+        "both visible on /fleet, one request served through the resized "
+        "pool"
     )
     return 0

@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 import re
 import signal
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable
@@ -191,6 +192,32 @@ class JsonHttpServer:
         self._thread.start()
         return self
 
+    def _shutdown(self) -> None:
+        """``shutdown()`` plus a wake-up connection for a blocked accept.
+
+        ``socketserver.shutdown()`` only sets a flag the serve loop checks
+        between selector polls.  If the loop is already *inside* a
+        blocking ``accept()`` — the selector can report the listener
+        ready for a connection that is gone by the time ``accept()`` runs
+        — the flag is never re-checked and shutdown deadlocks.  A no-op
+        connection unblocks the ``accept()`` so the loop comes back
+        around to the flag.
+        """
+
+        def wake():  # pragma: no cover - only fires on the accept race
+            try:
+                with socket.create_connection(
+                    (self.host, self.port), timeout=1.0
+                ):
+                    pass
+            except OSError:
+                pass
+
+        kicker = threading.Thread(target=wake, daemon=True)
+        kicker.start()
+        self._server.shutdown()
+        kicker.join(timeout=2.0)
+
     def serve_forever(
         self,
         install_signal_handlers: bool = True,
@@ -203,7 +230,17 @@ class JsonHttpServer:
         and flushes in-flight batches there).  ``shutdown()`` must run
         off the serving thread, so the signal handler hands both to a
         helper thread; previous handlers are restored on exit.
+
+        Refuses to run after :meth:`start`: two serve loops on one
+        listener race on shutdown — socketserver's exiting loop resets
+        the shutdown flag before the other loop checks it, and the
+        survivor serves forever.
         """
+        if self._thread is not None:
+            raise ServingError(
+                "serve_forever() after start(): already serving in the "
+                "background"
+            )
         previous = {}
 
         def drain_then_shutdown():  # pragma: no cover - signal path
@@ -212,7 +249,7 @@ class JsonHttpServer:
                     on_signal()
                 except Exception:
                     pass  # drain best-effort; the listener must still close
-            self._server.shutdown()
+            self._shutdown()
 
         def request_shutdown(_signum, _frame):  # pragma: no cover - signals
             threading.Thread(target=drain_then_shutdown).start()
@@ -237,7 +274,7 @@ class JsonHttpServer:
     def close(self) -> None:
         """Stop serving and release the listener (idempotent)."""
         if self._thread is not None:
-            self._server.shutdown()
+            self._shutdown()
             self._thread.join(timeout=5.0)
             self._thread = None
         self._server.server_close()

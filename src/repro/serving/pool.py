@@ -47,13 +47,16 @@ import numpy as np
 from repro.core.config import APIMConfig
 from repro.errors import (
     DuplicateRequestError,
+    FleetError,
     JournalError,
+    ScaleRejectedError,
     SearchError,
     ServingError,
     ShardUnavailableError,
     WorkloadError,
 )
 from repro.observability.instruments import (
+    record_fleet_scale_event,
     record_idempotency,
     record_journal_recovery,
     record_request_duration,
@@ -64,6 +67,7 @@ from repro.observability.instruments import (
     record_served,
     record_shard_health,
     set_codebook_size,
+    set_fleet_shards,
 )
 from repro.observability.sketch import LatencyAnalytics
 from repro.observability.slo import BurnRateEvaluator, SLOPolicy
@@ -109,6 +113,10 @@ class PoolShard:
     served: int = 0
     failures: int = 0
     busy_s: float = 0.0
+    #: Requests this shard currently holds (dispatched batch members not
+    #: yet terminal).  Only the shard's own driver mutates it; the fleet
+    #: autoscaler reads it so shrink never selects a working shard.
+    in_flight: int = 0
     _workloads: dict = field(default_factory=dict)
 
     @property
@@ -184,49 +192,25 @@ class CrossbarPool:
         self.apim_config = apim_config
         self.tile_elements = tile_elements
         self.seed = seed
-        self.shards: list[PoolShard] = []
-        for index in range(shards):
-            harness = ComparisonHarness(
-                config=apim_config,
-                tile_elements=tile_elements,
-                rng_seed=seed,
-            )
-            breaker = CircuitBreaker(
-                failure_threshold=shard_failure_threshold,
-                cooldown_s=shard_cooldown_s,
-            )
-            supervisor = Supervisor(
-                retry=retry
-                or RetryPolicy(
-                    max_attempts=3,
-                    base_delay=0.002,
-                    max_delay=0.05,
-                    jitter_seed=seed + index,
-                ),
-                deadline_s=deadline_s,
-            )
-            chaos = None
-            if chaos_policy is not None:
-                from dataclasses import replace
-
-                from repro.runtime.chaos import ChaosInjector
-
-                chaos = ChaosInjector(
-                    replace(chaos_policy, seed=chaos_policy.seed + index)
-                )
-            self.shards.append(
-                PoolShard(
-                    index=index,
-                    harness=harness,
-                    supervisor=supervisor,
-                    breaker=breaker,
-                    chaos=chaos,
-                )
-            )
+        self._retry = retry
+        self._deadline_s = deadline_s
+        self._chaos_policy = chaos_policy
+        self._shard_failure_threshold = shard_failure_threshold
+        self._shard_cooldown_s = shard_cooldown_s
+        self.shards: list[PoolShard] = [
+            self._build_shard(index) for index in range(shards)
+        ]
+        self._next_shard_index = shards
         self.runtime = resolve_runtime(runtime).bind(self)
         self._lifecycle = threading.Lock()
+        self._resize_lock = threading.Lock()
         self._started = False
         self._draining = False
+        # The fleet control plane (attached by repro.fleet.Autoscaler):
+        # /fleet reads decisions through this handle, and admission sheds
+        # any tenant the autoscaler placed in the shed set.
+        self.autoscaler = None
+        self.shed_tenants: set[str] = set()
         # Durability: the write-ahead request journal (a path opens one;
         # the pool owns its lifecycle either way) and the idempotency-key
         # index it rebuilds after a crash.
@@ -252,11 +236,168 @@ class CrossbarPool:
         self._search_index = search_index
         self._search_lock = threading.Lock()
 
+    def _build_shard(self, index: int) -> PoolShard:
+        """One shard from the pool's kept-verbatim construction inputs.
+
+        Used at construction and by :meth:`add_shard` — a shard added
+        live is indistinguishable from one built at boot (same seeded
+        harness, per-index retry jitter and chaos stream), which is what
+        keeps resized-pool pricing bit-identical to a fixed pool's.
+        """
+        harness = ComparisonHarness(
+            config=self.apim_config,
+            tile_elements=self.tile_elements,
+            rng_seed=self.seed,
+        )
+        breaker = CircuitBreaker(
+            failure_threshold=self._shard_failure_threshold,
+            cooldown_s=self._shard_cooldown_s,
+        )
+        supervisor = Supervisor(
+            retry=self._retry
+            or RetryPolicy(
+                max_attempts=3,
+                base_delay=0.002,
+                max_delay=0.05,
+                jitter_seed=self.seed + index,
+            ),
+            deadline_s=self._deadline_s,
+        )
+        chaos = None
+        if self._chaos_policy is not None:
+            from dataclasses import replace
+
+            from repro.runtime.chaos import ChaosInjector
+
+            chaos = ChaosInjector(
+                replace(
+                    self._chaos_policy,
+                    seed=self._chaos_policy.seed + index,
+                )
+            )
+        return PoolShard(
+            index=index,
+            harness=harness,
+            supervisor=supervisor,
+            breaker=breaker,
+            chaos=chaos,
+        )
+
     # -- lifecycle ------------------------------------------------------------
 
     @property
     def shard_count(self) -> int:
         return len(self.shards)
+
+    # -- fleet live resize -----------------------------------------------------
+
+    def add_shard(self) -> PoolShard:
+        """Grow the pool by one shard, live.
+
+        The newcomer is built from the same construction inputs as the
+        boot-time shards (fresh index — indices are never reused, so
+        metrics and traces stay unambiguous), appended to ``shards`` and
+        handed to the runtime to drive.  Safe before :meth:`start` too:
+        ``start`` spawns drivers for whatever ``shards`` holds.  Raw
+        escapes are normalised to :class:`~repro.errors.FleetError`.
+        """
+        with self._resize_lock:
+            if self._draining:
+                raise ScaleRejectedError(
+                    "pool is draining for shutdown",
+                    direction="grow",
+                    reason="draining",
+                )
+            shard = self._build_shard(self._next_shard_index)
+            self._next_shard_index += 1
+            self.shards.append(shard)
+            record_shard_health(shard.index, True)
+            if self._started:
+                try:
+                    self.runtime.shard_added(shard)
+                except Exception as exc:
+                    self.shards.remove(shard)
+                    self._next_shard_index -= 1
+                    if isinstance(exc, FleetError):
+                        raise
+                    raise FleetError(
+                        f"runtime failed to drive new {shard.key}: "
+                        f"{type(exc).__name__}: {exc}"
+                    ) from exc
+            record_fleet_scale_event("grow")
+            set_fleet_shards(len(self.shards))
+            return shard
+
+    def remove_shard(
+        self, index: int | None = None, timeout: float = 30.0
+    ) -> PoolShard:
+        """Shrink the pool by one shard, live and loss-free.
+
+        The victim (by ``index``, or the highest-index idle shard when
+        unspecified) leaves ``shards`` first — no new batch routes to it
+        — then the runtime drains it: its driver finishes the batch in
+        hand, so every request the shard held reaches a terminal result
+        before this returns.  Rejections (last shard, unknown index, no
+        idle victim) raise :class:`~repro.errors.ScaleRejectedError`
+        before anything is touched; raw escapes from the drain itself are
+        normalised to :class:`~repro.errors.FleetError`.
+        """
+        with self._resize_lock:
+            if len(self.shards) <= 1:
+                raise ScaleRejectedError(
+                    "cannot remove the last shard",
+                    direction="shrink",
+                    reason="min_shards",
+                )
+            if index is None:
+                idle = [s for s in self.shards if s.in_flight == 0]
+                if not idle:
+                    raise ScaleRejectedError(
+                        "every shard has in-flight work",
+                        direction="shrink",
+                        reason="no_idle_shard",
+                    )
+                victim = max(idle, key=lambda s: s.index)
+            else:
+                victim = next(
+                    (s for s in self.shards if s.index == index), None
+                )
+                if victim is None:
+                    raise ScaleRejectedError(
+                        f"no shard with index {index}",
+                        direction="shrink",
+                        reason="unknown_shard",
+                    )
+            self.shards.remove(victim)
+            if self._started:
+                try:
+                    self.runtime.shard_removed(victim, timeout=timeout)
+                except Exception as exc:
+                    if isinstance(exc, FleetError):
+                        raise
+                    raise FleetError(
+                        f"runtime failed to drain {victim.key}: "
+                        f"{type(exc).__name__}: {exc}"
+                    ) from exc
+            record_shard_health(victim.index, False)
+            record_fleet_scale_event("shrink")
+            set_fleet_shards(len(self.shards))
+            return victim
+
+    def fleet_status(self) -> dict:
+        """The `/fleet` payload: live shard set plus autoscaler state."""
+        status = {
+            "shards": len(self.shards),
+            "shard_indices": [shard.index for shard in self.shards],
+            "in_flight": {
+                shard.key: shard.in_flight for shard in self.shards
+            },
+            "shed_tenants": sorted(self.shed_tenants),
+            "autoscaler": None,
+        }
+        if self.autoscaler is not None:
+            status["autoscaler"] = self.autoscaler.status()
+        return status
 
     @property
     def started(self) -> bool:
@@ -271,6 +412,7 @@ class CrossbarPool:
             self._draining = False
             for shard in self.shards:
                 record_shard_health(shard.index, True)
+            set_fleet_shards(len(self.shards))
             self.runtime.start()
             self._started = True
             if self.journal is not None and not self._recovered:
@@ -680,6 +822,15 @@ class CrossbarPool:
                 "pool is draining for shutdown; resubmit elsewhere",
                 retry_after_s=self.serving_config.retry_after_s,
             )
+        if tenant in self.shed_tenants:
+            # The autoscaler shed this tenant under fast burn: refuse
+            # *before* acknowledging, so nothing acknowledged is lost.
+            from repro.errors import AdmissionRejectedError
+
+            raise AdmissionRejectedError(
+                f"tenant {tenant!r} is shed under fast burn; retry later",
+                retry_after_s=self.serving_config.retry_after_s,
+            )
         self.ensure_started()
         trace = self.traces.new_trace(
             workload=workload, tenant=tenant, relax_bits=relax_bits
@@ -811,6 +962,7 @@ class CrossbarPool:
                     "served": shard.served,
                     "failures": shard.failures,
                     "busy_s": shard.busy_s,
+                    "in_flight": shard.in_flight,
                 }
                 for shard in self.shards
             ],
@@ -835,20 +987,30 @@ class CrossbarPool:
     def _run_batch(
         self, shard: PoolShard, batch: list[ServeRequest], execute=None
     ) -> None:
-        for position, request in enumerate(batch):
-            if not shard.healthy and request.reroutes < self.max_reroutes:
-                # Breaker tripped mid-batch: hand the rest back so a
-                # healthy shard picks it up.
-                rerouted = batch[position:]
-                for held in rerouted:
-                    held.trace_event(
-                        "pool", "reroute", "shard breaker open",
-                        shard=shard.index, reroutes=held.reroutes,
-                    )
-                self.scheduler.requeue(rerouted)
-                record_reroute(len(rerouted))
-                return
-            self._run_request(shard, request, len(batch), execute=execute)
+        # in_flight counts every batch member the shard still holds; it
+        # reaches zero only once each is terminal or handed back — the
+        # signal shrink uses to pick a victim that has nothing to lose.
+        shard.in_flight += len(batch)
+        done = 0
+        try:
+            for position, request in enumerate(batch):
+                if not shard.healthy and request.reroutes < self.max_reroutes:
+                    # Breaker tripped mid-batch: hand the rest back so a
+                    # healthy shard picks it up.
+                    rerouted = batch[position:]
+                    for held in rerouted:
+                        held.trace_event(
+                            "pool", "reroute", "shard breaker open",
+                            shard=shard.index, reroutes=held.reroutes,
+                        )
+                    self.scheduler.requeue(rerouted)
+                    record_reroute(len(rerouted))
+                    return
+                self._run_request(shard, request, len(batch), execute=execute)
+                done += 1
+                shard.in_flight -= 1
+        finally:
+            shard.in_flight -= len(batch) - done
 
     def _execute_local(
         self, shard: PoolShard, request: ServeRequest

@@ -71,6 +71,26 @@ class ShardRuntime(ABC):
     def after_submit(self) -> None:
         """Hook invoked after each successful admission (inline pumping)."""
 
+    def shard_added(self, shard) -> None:
+        """Begin driving a shard added to a *started* pool.
+
+        Called by :meth:`CrossbarPool.add_shard` after the shard is
+        visible in ``pool.shards``.  The default is a no-op — the inline
+        runtime discovers shards by iterating ``pool.shards`` on every
+        pump; runtimes that dedicate a thread or process per shard
+        override this to spawn one for the newcomer.
+        """
+
+    def shard_removed(self, shard, timeout: float = 30.0) -> None:
+        """Stop driving a shard removed from a *started* pool.
+
+        Called by :meth:`CrossbarPool.remove_shard` after the shard left
+        ``pool.shards`` (so it receives no new batches).  Implementations
+        must complete the shard's in-flight work before returning — the
+        loss-free half of the live-resize contract — and release any
+        per-shard worker registration.  The default is a no-op.
+        """
+
     def _count(self, field: str, amount: int = 1) -> None:
         with self._lifecycle_lock:
             setattr(self, field, getattr(self, field) + amount)

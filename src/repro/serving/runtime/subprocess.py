@@ -250,7 +250,8 @@ class SubprocessRuntime(ShardRuntime):
         self.respawn_backoff_base_s = respawn_backoff_base_s
         self.respawn_backoff_cap_s = respawn_backoff_cap_s
         self.max_frame_bytes = max_frame_bytes
-        self._threads: list[threading.Thread] = []
+        self._threads: dict[int, threading.Thread] = {}
+        self._shard_stops: dict[int, threading.Event] = {}
         self._stop = threading.Event()
         self._handles: dict[int, WorkerHandle | None] = {}
         self._streaks: dict[int, int] = {}
@@ -259,29 +260,62 @@ class SubprocessRuntime(ShardRuntime):
 
     # -- lifecycle ------------------------------------------------------------
 
-    def start(self) -> None:
+    def _spawn_driver(self, shard) -> None:
         pool = self.pool
+        self._handles.setdefault(shard.index, None)
+        self._streaks.setdefault(shard.index, 0)
+        self._worker_cpu_s.setdefault(shard.index, 0.0)
+        self._spawn_locks.setdefault(shard.index, threading.Lock())
+        stop = self._shard_stops[shard.index] = threading.Event()
+        thread = threading.Thread(
+            target=self._drive,
+            args=(shard, stop),
+            name=f"crossbar-{shard.key}-driver",
+            daemon=True,
+        )
+        self._threads[shard.index] = thread
+        thread.start()
+        pool.scheduler.register_worker()
+
+    def start(self) -> None:
         self._stop.clear()
-        for shard in pool.shards:
-            self._handles.setdefault(shard.index, None)
-            self._streaks.setdefault(shard.index, 0)
-            self._worker_cpu_s.setdefault(shard.index, 0.0)
-            self._spawn_locks.setdefault(shard.index, threading.Lock())
-            thread = threading.Thread(
-                target=self._drive,
-                args=(shard,),
-                name=f"crossbar-{shard.key}-driver",
-                daemon=True,
+        for shard in self.pool.shards:
+            self._spawn_driver(shard)
+
+    def shard_added(self, shard) -> None:
+        self._spawn_driver(shard)
+
+    def shard_removed(self, shard, timeout: float = 30.0) -> None:
+        from repro.errors import FleetError
+
+        stop = self._shard_stops.pop(shard.index, None)
+        thread = self._threads.pop(shard.index, None)
+        if stop is not None:
+            stop.set()
+        alive = False
+        if thread is not None:
+            thread.join(timeout=timeout)
+            alive = thread.is_alive()
+        if not alive:
+            handle = self._handles.pop(shard.index, None)
+            if handle is not None:
+                handle.shutdown()
+        self.pool.scheduler.unregister_worker()
+        if alive:
+            # Worker teardown is skipped — the driver may still be
+            # round-tripping its last request through the process.
+            raise FleetError(
+                f"{shard.key} driver did not drain within {timeout:.1f}s; "
+                "its in-flight batch completes in the background"
             )
-            self._threads.append(thread)
-            thread.start()
-            pool.scheduler.register_worker()
 
     def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
         self._stop.set()
-        for thread in self._threads:
+        threads = list(self._threads.values())
+        for thread in threads:
             thread.join(timeout=timeout)
         self._threads.clear()
+        self._shard_stops.clear()
         for index, handle in list(self._handles.items()):
             if handle is not None:
                 if drain:
@@ -289,7 +323,7 @@ class SubprocessRuntime(ShardRuntime):
                 else:
                     handle.kill()
                 self._handles[index] = None
-        for _ in self.pool.shards:
+        for _ in threads:
             self.pool.scheduler.unregister_worker()
 
     # -- worker supervision ---------------------------------------------------
@@ -391,9 +425,9 @@ class SubprocessRuntime(ShardRuntime):
 
     # -- the driver loop ------------------------------------------------------
 
-    def _drive(self, shard) -> None:
+    def _drive(self, shard, shard_stop: threading.Event) -> None:
         pool = self.pool
-        while not self._stop.is_set():
+        while not self._stop.is_set() and not shard_stop.is_set():
             self._reap(shard)
             if not shard.healthy:
                 record_shard_health(shard.index, False)

@@ -25,12 +25,14 @@ from repro.errors import (
     DeviceError,
     DuplicateRequestError,
     FaultError,
+    FleetError,
     JournalError,
     KernelExecutionError,
     ProtocolError,
     QoSError,
     RecoveryError,
     ReproError,
+    ScaleRejectedError,
     SearchError,
     ServingError,
     ShardUnavailableError,
@@ -52,11 +54,13 @@ ALL_ERRORS = [
     DeviceError,
     DuplicateRequestError,
     FaultError,
+    FleetError,
     JournalError,
     KernelExecutionError,
     ProtocolError,
     QoSError,
     RecoveryError,
+    ScaleRejectedError,
     SearchError,
     ServingError,
     ShardUnavailableError,
@@ -153,6 +157,19 @@ class TestHierarchy:
         assert not issubclass(SearchError, ServingError)
         with pytest.raises(ReproError):
             raise SearchError("query dim 63 != codebook dim 64")
+
+    def test_scale_rejected_error_is_a_fleet_error(self):
+        """A bounded scale refusal is one kind of fleet-control failure:
+        the autoscaler's single ``except FleetError`` rescue covers both
+        refusals and actual resize faults, and the refusal carries what
+        was refused and why so the decision log can say so."""
+        assert issubclass(ScaleRejectedError, FleetError)
+        assert not issubclass(FleetError, ServingError)
+        exc = ScaleRejectedError("no", direction="shrink", reason="min")
+        assert (exc.direction, exc.reason) == ("shrink", "min")
+        assert ScaleRejectedError("bare").direction == ""
+        with pytest.raises(FleetError):
+            raise exc
 
     def test_serving_errors_subclass_serving_error(self):
         """One ``except ServingError`` covers the whole serving surface."""
