@@ -127,6 +127,99 @@ def test_instrumentation_overhead_under_five_percent(benchmark, bench_rounds):
     )
 
 
+def _measure_telemetry_tick() -> dict[str, float]:
+    """Best-of-N cost of one full telemetry tick on a populated process.
+
+    The pipeline samples a registry shaped like a busy serving pool
+    (per-tenant/status request counters, per-shard counters, latency
+    histograms), three sketch layers, and evaluates a recording rule
+    plus two alert rules — the same work ``repro serve --telemetry``
+    does once per cadence interval.
+    """
+    from repro.observability.sketch import LatencyAnalytics
+    from repro.observability.timeseries import (
+        QUANTILE_SERIES,
+        AlertRule,
+        RecordingRule,
+        TelemetryPipeline,
+    )
+
+    registry = MetricsRegistry()
+    requests = registry.counter(
+        "bench_requests_total", labelnames=("tenant", "status")
+    )
+    shards = registry.counter(
+        "bench_shard_requests_total", labelnames=("shard",)
+    )
+    latency_hist = registry.histogram(
+        "bench_latency_seconds", labelnames=("layer",)
+    )
+    analytics = LatencyAnalytics()
+    rng = np.random.default_rng(7)
+    for tenant in (f"tenant{i}" for i in range(8)):
+        for status in ("ok", "failed"):
+            requests.labels(tenant=tenant, status=status).inc(100)
+    for shard in range(4):
+        shards.labels(shard=str(shard)).inc(1000)
+    for layer in ("queue", "execute", "e2e"):
+        for value in rng.uniform(0.001, 0.5, size=500):
+            latency_hist.labels(layer=layer).observe(value)
+            analytics.observe(layer, float(value))
+
+    p99 = f'{QUANTILE_SERIES}{{layer="e2e",quantile="p99"}}'
+    pipeline = TelemetryPipeline(
+        registry=registry, analytics=analytics, interval_s=1.0
+    )
+    pipeline.add_rule(RecordingRule("p99_slope_s_per_s", f"slope({p99}, 60)"))
+    pipeline.add_rule(
+        AlertRule("p99_high", f"value({p99})", threshold=2.0, for_s=2.0)
+    )
+    pipeline.add_rule(
+        AlertRule(
+            "p99_rising", f"slope({p99}, 60)", threshold=0.01, for_s=3.0
+        )
+    )
+    for _ in range(10):  # warm-up: series creation, buffer fill
+        pipeline.tick()
+    best = float("inf")
+    for _ in range(REPEATS * 4):
+        start = time.perf_counter()
+        summary = pipeline.tick()
+        best = min(best, time.perf_counter() - start)
+    return {"tick_s": best, "samples_per_tick": summary["samples"]}
+
+
+def test_telemetry_tick_overhead_under_five_percent():
+    """The sampler + rule engine must stay <5% of a 1 s cadence — the
+    streaming-telemetry pipeline rides the same overhead budget the
+    instrumentation does."""
+    measured = _measure_telemetry_tick()
+    tick_s = measured["tick_s"]
+    overhead = tick_s / 1.0  # fraction of the default 1 s cadence
+    try:
+        with open(ARTIFACT, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        payload = {}
+    payload["telemetry_tick_s"] = tick_s
+    payload["telemetry_samples_per_tick"] = measured["samples_per_tick"]
+    payload["telemetry_cadence_s"] = 1.0
+    payload["telemetry_overhead_fraction"] = overhead
+    payload["telemetry_ceiling_fraction"] = MAX_OVERHEAD
+    with open(ARTIFACT, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    print()
+    print(f"telemetry tick: {tick_s * 1e3:.2f} ms for "
+          f"{measured['samples_per_tick']} samples, "
+          f"{overhead * 100:.2f}% of a 1 s cadence "
+          f"(ceiling {MAX_OVERHEAD * 100:.0f}%)")
+    assert overhead < MAX_OVERHEAD, (
+        f"telemetry tick {tick_s * 1e3:.2f} ms is "
+        f"{overhead * 100:.2f}% of the 1 s cadence, over the "
+        f"{MAX_OVERHEAD * 100:.0f}% ceiling"
+    )
+
+
 def test_disabled_path_records_nothing():
     """With observability off, a run must leave the registry untouched."""
     registry = MetricsRegistry()

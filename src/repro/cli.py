@@ -19,7 +19,12 @@ Commands:
   behind the JSON-over-HTTP API (``/submit``, ``/result/<id>``,
   ``/trace/<id>``, ``/healthz``, ``/stats``, ``/fleet``, ``/metrics``).
   With ``--fleet-config FILE`` the pool geometry, shard count, batch
-  ceiling and autoscaler policy come from a DSE-selected fleet config.
+  ceiling and autoscaler policy come from a DSE-selected fleet config;
+  with ``--telemetry`` the streaming telemetry pipeline samples the
+  registry and tail quantiles behind ``GET /query`` / ``GET /alerts``.
+- ``top`` — the fleet dashboard: shards, per-tenant request rates, tail
+  quantiles and firing alerts, either polling a live server (``--url``)
+  or from a self-contained in-process demo (``--once`` for one frame).
 - ``fleet`` — the fleet control plane: run the offline design-space
   exploration (sweep block geometry x interconnect x shard count x batch
   ceiling, fold into a cost-latency Pareto frontier, write the
@@ -43,6 +48,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 
 import numpy as np
 
@@ -247,6 +253,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="boot from a DSE-selected fleet config (repro fleet): pool "
         "geometry, shard count, batch ceiling and autoscaler policy",
     )
+    p.add_argument(
+        "--telemetry", action="store_true",
+        help="attach the streaming telemetry pipeline: retained series "
+        "history behind GET /query and alert rules behind GET /alerts",
+    )
+    p.add_argument(
+        "--telemetry-interval", type=float, default=1.0, metavar="S",
+        help="telemetry sampling cadence in seconds (default 1.0)",
+    )
+    p.add_argument(
+        "--telemetry-jsonl", default=None, metavar="FILE",
+        help="also export one JSONL telemetry record per tick to FILE "
+        "(rotated at 16 MiB, 3 files kept)",
+    )
+
+    p = sub.add_parser(
+        "top",
+        help="fleet dashboard: shards, tenant rates, tail quantiles and "
+        "firing alerts, from a live server or an in-process demo",
+    )
+    p.add_argument(
+        "--url", default=None, metavar="URL",
+        help="poll a live `repro serve --telemetry` endpoint "
+        "(default: boot an in-process demo pool with injected slow "
+        "traffic)",
+    )
+    p.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (the CI smoke)",
+    )
+    p.add_argument(
+        "--frames", type=int, default=None,
+        help="stop after N refreshes (default: until Ctrl-C)",
+    )
+    p.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between refreshes",
+    )
+    p.add_argument("--seed", type=int, default=2017)
 
     p = sub.add_parser(
         "fleet",
@@ -756,9 +801,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         runtime=args.runtime,
         journal=journal_path,
     )
+    pipeline = None
+    if args.telemetry:
+        from repro.observability.timeseries import TelemetryPipeline
+
+        pipeline = TelemetryPipeline.for_pool(
+            pool, interval_s=args.telemetry_interval
+        )
+        for rule in _default_telemetry_rules(pool, args.telemetry_interval):
+            pipeline.add_rule(rule)
+        if args.telemetry_jsonl:
+            from repro.observability.export import JsonlSnapshotSink
+
+            pipeline.attach_sink(
+                JsonlSnapshotSink(
+                    args.telemetry_jsonl, max_bytes=16 << 20, keep=3
+                )
+            )
+        print(
+            f"telemetry: sampling every {args.telemetry_interval:g}s "
+            f"({len(pipeline.alert_rules)} alert rule(s); GET /query, "
+            "GET /alerts)",
+            flush=True,
+        )
     if fleet_document is not None:
         from repro.fleet import Autoscaler, FleetPolicy
 
+        verdict_source = None
+        if pipeline is not None:
+            from repro.observability.timeseries import SlopeVerdictSource
+
+            verdict_source = SlopeVerdictSource(pipeline)
         policy_spec = fleet_document.get("autoscaler") or {}
         Autoscaler(
             pool,
@@ -767,6 +840,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 name: spec["priority"]
                 for name, spec in fleet_document.get("tenants", {}).items()
             },
+            verdict_source=verdict_source,
         )
         point = fleet_document["pool"]
         print(
@@ -791,6 +865,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   "forcing shutdown")
 
     with pool:
+        if pipeline is not None:
+            pipeline.start()
         if journal_path is not None:
             recovery = pool.recovery
             print(
@@ -819,6 +895,205 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
         finally:
             server.close()
+            if pipeline is not None:
+                pipeline.stop()
+    return 0
+
+
+def _default_telemetry_rules(pool, interval_s: float):
+    """The out-of-the-box serving rule set for ``--telemetry``.
+
+    One recording rule (the headline ``p99_slope_s_per_s``) plus two
+    alerts: the sampled end-to-end p99 crossing the SLO latency target,
+    and a sustained positive p99 slope (the same leading signal the
+    fleet's :class:`SlopeVerdictSource` consumes).
+    """
+    from repro.observability.timeseries import AlertRule, RecordingRule
+
+    p99 = 'repro_latency_quantile_seconds{layer="e2e",quantile="p99"}'
+    slope_window = max(10.0 * interval_s, 30.0)
+    target = pool.slo.policy.latency_target_s
+    return [
+        RecordingRule(
+            "p99_slope_s_per_s", f"slope({p99}, {slope_window:g})"
+        ),
+        AlertRule(
+            "e2e_p99_above_target",
+            f"value({p99})",
+            threshold=target,
+            for_s=2.0 * interval_s,
+            severity="page",
+        ),
+        AlertRule(
+            "e2e_p99_rising",
+            f"slope({p99}, {slope_window:g})",
+            threshold=0.05 * target / slope_window,
+            for_s=3.0 * interval_s,
+            severity="warn",
+        ),
+    ]
+
+
+def _render_top(stats: dict, alerts: dict | None, process: dict) -> str:
+    """One ``repro top`` frame as plain text."""
+    shards = stats.get("shards") or []
+    healthy = sum(1 for s in shards if s.get("healthy"))
+    verdict = (stats.get("slo") or {}).get("verdict", "?")
+    firing = (alerts or {}).get("firing", [])
+    lines = [
+        f"repro top — {len(shards)} shard(s), {healthy} healthy · "
+        f"verdict={verdict} · "
+        + (f"FIRING: {', '.join(firing)}" if firing else "alerts: none firing")
+    ]
+    if process:
+        rss = process.get("repro_process_rss_bytes")
+        lines.append(
+            "process: "
+            f"rss={format_si(rss, 'B') if rss is not None else '?'} "
+            f"cpu={process.get('repro_process_cpu_user_seconds', 0):.1f}s/"
+            f"{process.get('repro_process_cpu_system_seconds', 0):.1f}s "
+            f"threads={process.get('repro_process_threads', 0):.0f} "
+            f"fds={process.get('repro_process_open_fds', 0):.0f}"
+        )
+    lines.append(
+        f"  {'shard':<8} {'healthy':>7} {'served':>8} {'failures':>8} "
+        f"{'in_flight':>9} {'busy_s':>10}"
+    )
+    for shard in shards:
+        lines.append(
+            f"  {shard['index']:<8} {str(bool(shard['healthy'])):>7} "
+            f"{shard['served']:>8} {shard['failures']:>8} "
+            f"{shard['in_flight']:>9} {shard['busy_s']:>10.3f}"
+        )
+    tenants = stats.get("tenants") or {}
+    if tenants:
+        lines.append(f"  {'tenant':<16} {'total':>8} {'ok':>8} {'rate/s':>10}")
+        for name in sorted(tenants):
+            entry = tenants[name]
+            rate = entry.get("rate_per_s")
+            lines.append(
+                f"  {name:<16} {entry['total']:>8.0f} "
+                f"{entry['by_status'].get('ok', 0):>8.0f} "
+                f"{'-' if rate is None else f'{rate:.2f}':>10}"
+            )
+    tails = stats.get("latency") or {}
+    if tails:
+        lines.append(
+            f"  {'layer':<12} {'count':>6} {'p50':>10} {'p95':>10} "
+            f"{'p99':>10} {'p999':>10}"
+        )
+        for layer, summary in tails.items():
+            lines.append(
+                f"  {layer:<12} {summary['count']:>6} "
+                f"{format_si(summary['p50'], 's'):>10} "
+                f"{format_si(summary['p95'], 's'):>10} "
+                f"{format_si(summary['p99'], 's'):>10} "
+                f"{format_si(summary['p999'], 's'):>10}"
+            )
+    if alerts is not None:
+        lines.append(
+            f"  {'alert':<24} {'state':>9} {'severity':>8} {'value':>12} "
+            f"{'threshold':>12}"
+        )
+        for rule in alerts.get("rules", []):
+            value = rule.get("value")
+            shown = "-" if value is None else f"{value:.4g}"
+            threshold = f"{rule['op']}{rule['threshold']:.4g}"
+            lines.append(
+                f"  {rule['name']:<24} {rule['state']:>9} "
+                f"{rule['severity']:>8} {shown:>12} {threshold:>12}"
+            )
+    return "\n".join(lines)
+
+
+def _top_process_values(pipeline) -> dict:
+    """Newest ``repro_process_*`` samples out of a local pipeline."""
+    process = {}
+    for key in pipeline.store.keys():
+        if key.startswith("repro_process_"):
+            latest = pipeline.store.get(key).latest()
+            if latest is not None:
+                process[key] = latest[1]
+    return process
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """The fleet dashboard (one-shot, polling, or live-URL mode)."""
+    frames = 1 if args.once else args.frames
+
+    if args.url is not None:
+        from repro.serving.frontend import _http_json
+
+        base = args.url.rstrip("/")
+        rendered = 0
+        while frames is None or rendered < frames:
+            if rendered:
+                time.sleep(args.interval)
+            status, stats = _http_json(f"{base}/stats")
+            if status != 200:
+                print(f"error: GET {base}/stats -> {status} {stats}")
+                return 1
+            status, alerts = _http_json(f"{base}/alerts")
+            if status != 200:
+                alerts = None  # telemetry not enabled on that server
+            process = {}
+            if (stats.get("telemetry") or {}).get("ticks"):
+                for name in (
+                    "repro_process_rss_bytes",
+                    "repro_process_cpu_user_seconds",
+                    "repro_process_cpu_system_seconds",
+                    "repro_process_threads",
+                    "repro_process_open_fds",
+                ):
+                    status, payload = _http_json(
+                        f"{base}/query?series={name}&fn=value"
+                    )
+                    if status == 200 and payload.get("series"):
+                        derived = payload["series"][0].get("derived") or {}
+                        if derived.get("value") is not None:
+                            process[name] = derived["value"]
+            print(_render_top(stats, alerts, process))
+            rendered += 1
+        return 0
+
+    # In-process demo: a real pool with telemetry attached, driven by a
+    # short burst per frame.  Slow traffic is injected straight into the
+    # latency analytics so the p99 alert demonstrably fires.
+    from repro.observability.timeseries import TelemetryPipeline
+    from repro.serving.pool import Client, CrossbarPool
+
+    pool = CrossbarPool(shards=2, tile_elements=1 << 9, seed=args.seed)
+    pipeline = TelemetryPipeline.for_pool(pool, interval_s=0.05)
+    for rule in _default_telemetry_rules(pool, pipeline.interval_s):
+        pipeline.add_rule(rule)
+    target = pool.slo.policy.latency_target_s
+    with pool:
+        client = Client(pool, tenant="demo")
+        rendered = 0
+        while frames is None or rendered < frames:
+            if rendered:
+                time.sleep(args.interval)
+            for workload in ("Sobel", "Robert"):
+                client.call(workload, relax_bits=8, dataset_bytes=1 << 20)
+            # The injected slow traffic: e2e observations far past the
+            # SLO target, so /alerts shows a real firing rule.
+            for _ in range(4):
+                pool.latency.observe("e2e", 2.0 * target)
+            for _ in range(4):
+                pipeline.tick()
+                time.sleep(pipeline.interval_s)
+            print(
+                _render_top(
+                    pool.stats(),
+                    pipeline.alerts(),
+                    _top_process_values(pipeline),
+                )
+            )
+            rendered += 1
+    firing = pipeline.alerts()["firing"]
+    if args.once and "e2e_p99_above_target" not in firing:
+        print("TOP SMOKE FAIL: injected slow traffic fired no alert")
+        return 1
     return 0
 
 
@@ -1145,6 +1420,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_metrics(args)
     elif args.command == "serve":
         return _cmd_serve(args)
+    elif args.command == "top":
+        return _cmd_top(args)
     elif args.command == "fleet":
         return _cmd_fleet(args)
     elif args.command == "slo":

@@ -119,6 +119,13 @@ class SLOError(ObservabilityError):
     over an empty point set."""
 
 
+class TelemetryError(ObservabilityError):
+    """Telemetry pipeline misuse: a malformed series selector or rule
+    expression, an invalid ring-buffer capacity or sampling cadence, a
+    duplicate alert-rule name, or an alert rule with out-of-range
+    hysteresis/severity settings."""
+
+
 class ServingError(ReproError):
     """The serving layer cannot process a request: the pool is closed, a
     request names an unknown workload, or the frontend received a payload

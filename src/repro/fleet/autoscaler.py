@@ -21,6 +21,13 @@ refused — both measured on the *injected clock*, so a test driving a
 decision sequence: identical verdict streams produce identical decisions
 (the property the hypothesis suite pins).
 
+An optional ``verdict_source`` (canonically the telemetry pipeline's
+:class:`~repro.observability.timeseries.SlopeVerdictSource`) is consulted
+with each step's SLO evaluation and may *escalate* an ``ok`` verdict to
+``slow_burn`` on a sustained positive p99 slope — leading capacity, not
+lagging the error budget.  Each decision records which ``signal``
+produced its verdict (``slo``, ``forced``, or the source's tag).
+
 Decisions execute through the pool's live-resize primitives and are
 recorded three ways: the in-memory ``decisions`` log (the `/fleet`
 endpoint's tail), the fleet metric families, and — when a trace store is
@@ -97,11 +104,17 @@ class Autoscaler:
         policy: FleetPolicy | None = None,
         tenant_priorities: dict[str, int] | None = None,
         clock=None,
+        verdict_source=None,
     ) -> None:
         self.pool = pool
         self.policy = policy or FleetPolicy()
         self.tenant_priorities = dict(tenant_priorities or {})
         self.clock = clock if clock is not None else pool.scheduler.clock
+        # An optional early-warning escalator (canonically the telemetry
+        # pipeline's SlopeVerdictSource): consulted with the live SLO
+        # evaluation each step, it may escalate an ``ok`` verdict — grow
+        # on a rising p99 *before* the error budget burns.
+        self.verdict_source = verdict_source
         self.decisions: list[dict] = []
         self.scale_ups = 0
         self.scale_downs = 0
@@ -146,9 +159,14 @@ class Autoscaler:
         started = time.monotonic()
         now = self.clock()
         slo = self.pool.slo.evaluate()
+        signal = "forced"
         if verdict is None:
-            verdict = slo["verdict"]
+            if self.verdict_source is not None:
+                verdict, signal = self.verdict_source.verdict(slo)
+            else:
+                verdict, signal = slo["verdict"], "slo"
         decision = self._decide(verdict, float(slo["long_burn"]), now)
+        decision["signal"] = signal
         self._act(decision)
         self.decisions.append(decision)
         record_fleet_decision(time.monotonic() - started)
@@ -294,4 +312,9 @@ class Autoscaler:
             "decisions": len(self.decisions),
             "recent_decisions": self.decisions[-10:],
             "tenant_priorities": dict(self.tenant_priorities),
+            "verdict_source": (
+                None
+                if self.verdict_source is None
+                else self.verdict_source.status()
+            ),
         }

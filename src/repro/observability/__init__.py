@@ -19,6 +19,10 @@ The subsystem's parts:
   503-on-fast-burn signal);
 - :mod:`repro.observability.export` — Prometheus text exposition
   (exemplar-annotated) and the rotating JSONL snapshot sink;
+- :mod:`repro.observability.timeseries` — the streaming telemetry
+  pipeline: bounded :class:`RingSeries` history of the registry and
+  sketch quantiles, derived signals (rates, EWMA, slope), declarative
+  alert/recording rules and the fleet's :class:`SlopeVerdictSource`;
 - :mod:`repro.observability.instruments` — the domain metric families the
   executor, supervisor, campaign, checkpoint, resilience, serving and
   controller layers emit into.
@@ -48,6 +52,18 @@ from repro.observability.sketch import (
     QuantileSketch,
 )
 from repro.observability.slo import BurnRateEvaluator, SLOPolicy, evaluate_points
+from repro.observability.timeseries import (
+    AlertRule,
+    RecordingRule,
+    RingSeries,
+    SlopeVerdictSource,
+    TelemetryPipeline,
+    TimeSeriesStore,
+    counter_rate,
+    ewma,
+    series_key,
+    slope,
+)
 from repro.observability.spans import (
     SpanProfiler,
     SpanRecord,
@@ -68,6 +84,7 @@ from repro.observability.tracing import (
 )
 
 __all__ = [
+    "AlertRule",
     "BurnRateEvaluator",
     "Counter",
     "Gauge",
@@ -76,9 +93,14 @@ __all__ = [
     "LatencyAnalytics",
     "MetricsRegistry",
     "QuantileSketch",
+    "RecordingRule",
+    "RingSeries",
     "SLOPolicy",
+    "SlopeVerdictSource",
     "SpanProfiler",
     "SpanRecord",
+    "TelemetryPipeline",
+    "TimeSeriesStore",
     "TraceContext",
     "TraceEvent",
     "TraceRecord",
@@ -87,6 +109,7 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "TAIL_QUANTILES",
     "active_registry",
+    "counter_rate",
     "current_trace",
     "default_profiler",
     "default_registry",
@@ -95,10 +118,13 @@ __all__ = [
     "enable",
     "enabled",
     "evaluate_points",
+    "ewma",
     "exponential_buckets",
     "format_timeline",
+    "series_key",
     "set_default_registry",
     "set_default_trace_store",
+    "slope",
     "snapshot",
     "span",
     "to_prometheus",

@@ -200,10 +200,18 @@ class JsonlSnapshotSink:
 
     def write(self, registry: MetricsRegistry, **extra) -> dict:
         """Append one snapshot (plus caller context fields); returns it."""
-        if self._handle is None:
-            raise ObservabilityError(f"sink {self.path!r} is closed")
         record = snapshot(registry)
         record.update(extra)
+        return self.write_record(record)
+
+    def write_record(self, record: dict) -> dict:
+        """Append one caller-built record through the same rotation.
+
+        The telemetry pipeline exports its per-tick series tails this
+        way: same file format (one JSON object per line), same bounded
+        on-disk footprint, no second rotation implementation."""
+        if self._handle is None:
+            raise ObservabilityError(f"sink {self.path!r} is closed")
         self._handle.write(
             json.dumps(record, separators=(",", ":"), sort_keys=True) + "\n"
         )

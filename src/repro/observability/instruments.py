@@ -58,13 +58,16 @@ __all__ = [
     "record_served",
     "record_shard_health",
     "record_supervision_event",
+    "record_telemetry_tick",
     "record_worker_death",
     "record_worker_redrive",
     "record_worker_respawn",
     "record_worker_spawn",
+    "sample_process_resources",
     "set_build_info",
     "set_codebook_size",
     "set_queue_depth",
+    "set_telemetry_alert_states",
 ]
 
 #: Rows a command activates (read or write wordline pulses), per opcode.
@@ -330,6 +333,44 @@ class _Instruments:
             "repro_build_info",
             "Constant 1; labels identify the build serving this scrape.",
             ("version", "python", "config_hash"),
+        )
+        # -- process health ---------------------------------------------------
+        self.process_rss = registry.gauge(
+            "repro_process_rss_bytes",
+            "Resident set size of this process.",
+        )
+        self.process_cpu_user = registry.gauge(
+            "repro_process_cpu_user_seconds",
+            "User-mode CPU seconds consumed by this process.",
+        )
+        self.process_cpu_system = registry.gauge(
+            "repro_process_cpu_system_seconds",
+            "Kernel-mode CPU seconds consumed by this process.",
+        )
+        self.process_threads = registry.gauge(
+            "repro_process_threads",
+            "Live Python threads in this process.",
+        )
+        self.process_open_fds = registry.gauge(
+            "repro_process_open_fds",
+            "File descriptors currently open in this process.",
+        )
+        # -- telemetry pipeline (self-observation) -----------------------------
+        self.telemetry_samples = registry.counter(
+            "repro_telemetry_samples_total",
+            "Samples ingested into the telemetry time-series store.",
+        )
+        self.telemetry_alerts = registry.gauge(
+            "repro_telemetry_alerts",
+            "Alert rules currently in each state "
+            "(inactive/pending/firing/resolved).",
+            ("state",),
+        )
+        self.telemetry_eval = registry.histogram(
+            "repro_telemetry_eval_seconds",
+            "Wall-clock cost of one telemetry tick (sampling + rules).",
+            (),
+            DEFAULT_LATENCY_BUCKETS,
         )
         # -- crossbar controller ---------------------------------------------
         self.controller_commands = registry.counter(
@@ -685,6 +726,80 @@ def record_request_duration(seconds: float, trace_id: str | None = None) -> None
         return
     exemplar = {"trace_id": trace_id} if trace_id else None
     inst.request_duration.observe(seconds, exemplar)
+
+
+# -- process health / telemetry ------------------------------------------------
+
+
+def process_resource_values() -> dict[str, float]:
+    """Current process resource readings, psutil-free.
+
+    RSS comes from ``/proc/self/statm`` (falling back to the *peak* RSS
+    ``getrusage`` reports where /proc is absent), CPU seconds from
+    ``getrusage``, open fds from ``/proc/self/fd`` when available.
+    """
+    import os
+    import resource
+    import threading
+
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    values = {
+        "repro_process_cpu_user_seconds": float(usage.ru_utime),
+        "repro_process_cpu_system_seconds": float(usage.ru_stime),
+        "repro_process_threads": float(threading.active_count()),
+    }
+    try:
+        with open("/proc/self/statm", encoding="ascii") as fh:
+            pages = int(fh.read().split()[1])
+        values["repro_process_rss_bytes"] = float(
+            pages * os.sysconf("SC_PAGESIZE")
+        )
+    except (OSError, ValueError, IndexError):
+        # ru_maxrss is kilobytes on Linux: the high-water mark, not the
+        # current level — still the right order of magnitude for health.
+        values["repro_process_rss_bytes"] = float(usage.ru_maxrss * 1024)
+    try:
+        values["repro_process_open_fds"] = float(
+            len(os.listdir("/proc/self/fd"))
+        )
+    except OSError:  # pragma: no cover - /proc-less platforms
+        pass
+    return values
+
+
+def sample_process_resources() -> dict[str, float]:
+    """Read the process resources, publish the ``repro_process_*`` gauges,
+    and return the readings (the telemetry pipeline stores them)."""
+    values = process_resource_values()
+    inst = _instruments()
+    if inst is not None:
+        inst.process_cpu_user.set(values["repro_process_cpu_user_seconds"])
+        inst.process_cpu_system.set(
+            values["repro_process_cpu_system_seconds"]
+        )
+        inst.process_threads.set(values["repro_process_threads"])
+        inst.process_rss.set(values["repro_process_rss_bytes"])
+        if "repro_process_open_fds" in values:
+            inst.process_open_fds.set(values["repro_process_open_fds"])
+    return values
+
+
+def record_telemetry_tick(samples: int, eval_s: float) -> None:
+    """Roll one telemetry tick into the self-observation families."""
+    inst = _instruments()
+    if inst is None:
+        return
+    inst.telemetry_samples.inc(max(0, samples))
+    inst.telemetry_eval.observe(eval_s)
+
+
+def set_telemetry_alert_states(counts: dict) -> None:
+    """Publish how many alert rules sit in each state."""
+    inst = _instruments()
+    if inst is None:
+        return
+    for state, count in counts.items():
+        inst.telemetry_alerts.labels(state=state).set(float(count))
 
 
 # -- build info ---------------------------------------------------------------

@@ -33,6 +33,15 @@ Endpoints (all JSON unless noted):
 - ``GET /fleet`` — the fleet control plane: live shard set with
   per-shard in-flight depth, shed tenants, and (when an autoscaler is
   attached) its policy, counters and recent decisions.
+- ``GET /query?series=…&window=…&fn=…`` — retained telemetry history
+  for the series matching the selector (optionally restricted to the
+  trailing ``window`` seconds, optionally with a derived scalar:
+  ``rate``/``ewma``/``slope``/``mean``/``min``/``max``/``value``).
+  ``503`` while no telemetry pipeline is attached, ``400`` on a
+  malformed selector/expression.
+- ``GET /alerts`` — every alert rule's state
+  (inactive/pending/firing/resolved), current value and transition
+  count, plus the firing roll-up.  ``503`` without telemetry.
 - ``GET /metrics`` — the process Prometheus scrape (text exposition).
 
 :func:`build_server` wires these routes into the shared
@@ -58,6 +67,7 @@ from repro.errors import (
     SearchError,
     ServingError,
     ShardUnavailableError,
+    TelemetryError,
 )
 from repro.serving.http import PROMETHEUS_CONTENT_TYPE, JsonHttpServer
 from repro.serving.pool import CrossbarPool
@@ -288,6 +298,45 @@ def _fleet_handler(pool: CrossbarPool):
     return handle
 
 
+def _query_handler(pool: CrossbarPool):
+    def handle(_match, _body, query):
+        if pool.telemetry is None:
+            return 503, {
+                "error": "telemetry is not enabled on this server "
+                "(start with --telemetry)"
+            }
+        selector = query.get("series")
+        if not selector:
+            return 400, {
+                "error": "the series selector is required: "
+                "/query?series=<name[{label=\"value\"}]>"
+            }
+        window = query.get("window")
+        fn = query.get("fn") or None
+        try:
+            window_s = None if window in (None, "") else float(window)
+            if window_s is not None and window_s <= 0:
+                raise ValueError(f"window must be positive: {window_s}")
+            payload = pool.telemetry.query(selector, window_s, fn=fn)
+        except (TelemetryError, ValueError) as exc:
+            return 400, {"error": str(exc)}
+        return 200, payload
+
+    return handle
+
+
+def _alerts_handler(pool: CrossbarPool):
+    def handle(_match, _body):
+        if pool.telemetry is None:
+            return 503, {
+                "error": "telemetry is not enabled on this server "
+                "(start with --telemetry)"
+            }
+        return 200, pool.telemetry.alerts()
+
+    return handle
+
+
 def _metrics_handler():
     def handle(_match, _body):
         from repro.observability import default_registry, to_prometheus
@@ -319,6 +368,8 @@ def build_routes(pool: CrossbarPool):
         ("GET", re.compile(r"/healthz/?$"), _healthz_handler(pool)),
         ("GET", re.compile(r"/stats/?$"), _stats_handler(pool)),
         ("GET", re.compile(r"/fleet/?$"), _fleet_handler(pool)),
+        ("GET", re.compile(r"/query/?$"), _query_handler(pool)),
+        ("GET", re.compile(r"/alerts/?$"), _alerts_handler(pool)),
         ("GET", re.compile(r"/metrics/?$"), _metrics_handler()),
     ]
 

@@ -10,8 +10,12 @@ A route is ``(method, compiled path regex, handler)``.  Handlers receive
 the regex match and the decoded JSON body (``None`` for GET) and return
 ``(status, payload)`` or ``(status, payload, extra_headers)``; dict/list
 payloads are JSON-encoded, strings pass through (used for the Prometheus
-exposition).  Handler exceptions become a 500 JSON error instead of a
-stack trace over the socket.
+exposition).  A handler that declares a third parameter additionally
+receives the parsed query string as ``{name: last value}`` (the telemetry
+``/query`` endpoint reads ``?series=…&window=…`` this way; two-parameter
+handlers never see query strings, so existing routes are untouched).
+Handler exceptions become a 500 JSON error instead of a stack trace over
+the socket.
 
 The server binds ``port=0`` for an ephemeral port (tests, the ``--quick``
 self-test), runs in the background via :meth:`start` or in the foreground
@@ -21,6 +25,7 @@ in-flight requests finish, the listener closes, handlers are restored.
 
 from __future__ import annotations
 
+import inspect
 import json
 import re
 import signal
@@ -28,6 +33,7 @@ import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable
+from urllib.parse import parse_qs
 
 from repro.errors import ServingError
 
@@ -61,6 +67,33 @@ def _sanitize(obj):
     return obj
 
 
+def _wants_query(handler: Callable) -> bool:
+    """Whether a route handler declares the third (query dict) parameter.
+
+    Resolved once at server construction, so dispatch stays a plain
+    positional call either way.  Unintrospectable callables (C-level,
+    exotic partials) default to the classic two-parameter contract.
+    """
+    try:
+        parameters = inspect.signature(handler).parameters.values()
+    except (TypeError, ValueError):  # pragma: no cover - C callables
+        return False
+    positional = [
+        p
+        for p in parameters
+        if p.kind
+        in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        )
+    ]
+    if any(
+        p.kind == inspect.Parameter.VAR_POSITIONAL for p in parameters
+    ):
+        return True
+    return len(positional) >= 3
+
+
 class JsonHttpServer:
     """A small routed JSON/text HTTP server on the stdlib only."""
 
@@ -76,6 +109,9 @@ class JsonHttpServer:
             raise ServingError("max_body_bytes must be positive")
         self.routes = list(routes)
         self.max_body_bytes = max_body_bytes
+        self._route_wants_query = [
+            _wants_query(handler) for _method, _pattern, handler in self.routes
+        ]
         outer = self
 
         class Handler(BaseHTTPRequestHandler):
@@ -134,8 +170,10 @@ class JsonHttpServer:
                     return None, (400, {"error": "body is not valid JSON"})
 
             def _dispatch(self, method):
-                path = self.path.split("?", 1)[0]
-                for route_method, pattern, handler in outer.routes:
+                path, _, query_string = self.path.partition("?")
+                for index, (route_method, pattern, handler) in enumerate(
+                    outer.routes
+                ):
                     if route_method != method:
                         continue
                     match = pattern.match(path)
@@ -147,8 +185,18 @@ class JsonHttpServer:
                         if error is not None:
                             self._reply(*error)
                             return
+                    args = [match, body]
+                    if outer._route_wants_query[index]:
+                        args.append(
+                            {
+                                name: values[-1]
+                                for name, values in parse_qs(
+                                    query_string, keep_blank_values=True
+                                ).items()
+                            }
+                        )
                     try:
-                        result = handler(match, body)
+                        result = handler(*args)
                     except Exception as exc:  # never leak a traceback
                         self._reply(
                             500,

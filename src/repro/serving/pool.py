@@ -211,6 +211,10 @@ class CrossbarPool:
         # any tenant the autoscaler placed in the shed set.
         self.autoscaler = None
         self.shed_tenants: set[str] = set()
+        # The streaming telemetry pipeline (attached by
+        # TelemetryPipeline.for_pool): /query and /alerts serve through
+        # this handle, and /stats annotates tenants with sampled rates.
+        self.telemetry = None
         # Durability: the write-ahead request journal (a path opens one;
         # the pool owns its lifecycle either way) and the idempotency-key
         # index it rebuilds after a crash.
@@ -950,6 +954,10 @@ class CrossbarPool:
             ),
             "latency": self.latency.summary(),
             "slo": self.slo.evaluate(),
+            "tenants": self._tenant_stats(),
+            "telemetry": (
+                None if self.telemetry is None else self.telemetry.status()
+            ),
             "traces": {
                 "resident": len(self.traces),
                 "evicted": self.traces.evicted,
@@ -967,6 +975,46 @@ class CrossbarPool:
                 for shard in self.shards
             ],
         }
+
+    def _tenant_stats(self) -> dict:
+        """Per-tenant totals from ``repro_serving_requests_total`` plus a
+        sampled request rate when the telemetry pipeline is attached.
+
+        The scheduler has always *known* the tenant set; this attributes
+        the traffic: finished requests by terminal status per tenant, and
+        — with telemetry on — the per-second rate over the last minute of
+        samples.  Empty while observability is disabled (the counters are
+        the source of truth, not the queues).
+        """
+        from repro.observability.registry import active_registry
+
+        registry = active_registry()
+        family = None if registry is None else registry.get(
+            "repro_serving_requests_total"
+        )
+        if family is None or family.kind != "counter":
+            return {}
+        tenants: dict[str, dict] = {}
+        for labels, child in family.samples():
+            entry = tenants.setdefault(
+                labels["tenant"], {"total": 0.0, "by_status": {}}
+            )
+            entry["total"] += child.value
+            entry["by_status"][labels["status"]] = (
+                entry["by_status"].get(labels["status"], 0.0) + child.value
+            )
+        if self.telemetry is not None:
+            from repro.observability.timeseries import evaluate_expr
+
+            for tenant, entry in tenants.items():
+                if '"' in tenant:  # unquotable in a selector; skip the rate
+                    entry["rate_per_s"] = None
+                    continue
+                entry["rate_per_s"] = evaluate_expr(
+                    self.telemetry.store,
+                    f'rate(repro_serving_requests_total{{tenant="{tenant}"}}, 60)',
+                )
+        return tenants
 
     # -- the worker loop ------------------------------------------------------
 

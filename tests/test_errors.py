@@ -37,6 +37,7 @@ from repro.errors import (
     ServingError,
     ShardUnavailableError,
     SLOError,
+    TelemetryError,
     TracingError,
     TransientError,
     WorkerCrashedError,
@@ -65,6 +66,7 @@ ALL_ERRORS = [
     ServingError,
     ShardUnavailableError,
     SLOError,
+    TelemetryError,
     TracingError,
     TransientError,
     WorkerCrashedError,
@@ -306,11 +308,46 @@ class TestHierarchy:
             raise exc
 
     def test_observability_errors_share_the_observability_base(self):
-        """Tracing and SLO failures are observability failures: one
-        ``except ObservabilityError`` covers the whole telemetry surface."""
+        """Tracing, SLO and telemetry failures are observability
+        failures: one ``except ObservabilityError`` covers the whole
+        telemetry surface."""
         from repro.errors import ObservabilityError
 
-        for exc in (TracingError, SLOError):
+        for exc in (TracingError, SLOError, TelemetryError):
             assert issubclass(exc, ObservabilityError)
             with pytest.raises(ObservabilityError):
                 raise exc("boom")
+
+    def test_telemetry_error_raised_on_pipeline_misuse(self):
+        """The timeseries layer raises TelemetryError (not a bare
+        ValueError) on malformed selectors, expressions and rules."""
+        from repro.observability.timeseries import (
+            AlertRule,
+            RingSeries,
+            TelemetryPipeline,
+            parse_expr,
+            parse_selector,
+        )
+
+        with pytest.raises(TelemetryError):
+            parse_selector("not a selector {")
+        with pytest.raises(TelemetryError):
+            parse_expr("frobnicate(some_series)")
+        with pytest.raises(TelemetryError):
+            parse_expr("rate(some_series)")  # rate needs a window
+        with pytest.raises(TelemetryError):
+            RingSeries(kind="summary")
+        with pytest.raises(TelemetryError):
+            RingSeries(capacity=7)  # pairwise decimation needs even
+        with pytest.raises(TelemetryError):
+            AlertRule("r", "value(x)", threshold=1.0, op="!=")
+        with pytest.raises(TelemetryError):
+            AlertRule("r", "value(x)", threshold=1.0, for_s=-1.0)
+        with pytest.raises(TelemetryError):
+            AlertRule("r", "value(x)", threshold=1.0, severity="meh")
+        with pytest.raises(TelemetryError):
+            TelemetryPipeline(interval_s=0.0)
+        pipeline = TelemetryPipeline(sample_process=False)
+        pipeline.add_rule(AlertRule("dup", "value(x)", threshold=1.0))
+        with pytest.raises(TelemetryError):
+            pipeline.add_rule(AlertRule("dup", "value(x)", threshold=2.0))

@@ -87,9 +87,10 @@ class TestRoundTrip:
         stats = pool.stats()
         assert set(stats) == {
             "runtime", "scheduler", "results", "shards", "latency", "slo",
-            "traces", "journal",
+            "traces", "journal", "tenants", "telemetry",
         }
         assert stats["journal"] is None  # this pool runs unjournaled
+        assert stats["telemetry"] is None  # no pipeline attached
         assert len(stats["shards"]) == 2
         assert stats["runtime"]["name"] == "thread"
         assert set(stats["traces"]) == {"resident", "evicted", "spilled"}
